@@ -1,0 +1,128 @@
+"""Benchmarks for the extension features built on the paper's machinery.
+
+Not paper figures -- these measure the cost profile of the add-on query
+classes so a downstream user knows what to expect:
+
+* first-passage distributions vs horizon (one absorbing sweep);
+* Lahar-style sequence queries vs pattern complexity (product chain);
+* smoothing (forward-backward) vs number of observations;
+* snapshot nearest-neighbour queries vs database size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import StateDistribution
+from repro.core.nearest_neighbor import nearest_neighbor_probabilities
+from repro.core.observation import Observation, ObservationSet
+from repro.core.sequence import Pattern, sequence_probability
+from repro.core.smoothing import posterior_marginals
+from repro.core.temporal import first_passage_distribution
+from repro.database.uncertain_db import TrajectoryDatabase
+from repro.database.objects import UncertainObject
+from repro.core.state_space import LineStateSpace
+from repro.workloads.synthetic import make_line_chain
+
+from conftest import synthetic_database
+
+N_STATES = 2_000
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return make_line_chain(N_STATES, seed=77)
+
+
+@pytest.mark.parametrize("horizon", [10, 30, 50])
+def test_first_passage_vs_horizon(benchmark, chain, horizon):
+    initial = StateDistribution.uniform(N_STATES, range(500, 505))
+    result = benchmark.pedantic(
+        lambda: first_passage_distribution(
+            chain, initial, range(100, 121), horizon
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.pmf.sum() + result.never_probability == (
+        pytest.approx(1.0)
+    )
+
+
+@pytest.mark.parametrize(
+    "complexity", ["atom", "visit-twice", "alternating"]
+)
+def test_sequence_query_vs_pattern(benchmark, chain, complexity):
+    initial = StateDistribution.uniform(N_STATES, range(100, 105))
+    region = Pattern.states(range(90, 130))
+    outside = Pattern.states(
+        set(range(N_STATES)) - set(range(90, 130))
+    )
+    if complexity == "atom":
+        pattern = Pattern.any().star().then(region).then(
+            Pattern.any().star()
+        )
+    elif complexity == "visit-twice":
+        pattern = (
+            Pattern.any().star()
+            .then(region).then(outside.plus()).then(region)
+            .then(Pattern.any().star())
+        )
+    else:
+        pattern = region.then(outside).repeat(5)
+    probability = benchmark.pedantic(
+        lambda: sequence_probability(chain, initial, pattern, length=10),
+        rounds=2,
+        iterations=1,
+    )
+    assert 0.0 <= probability <= 1.0
+
+
+@pytest.mark.parametrize("n_observations", [2, 4, 8])
+def test_smoothing_vs_observations(benchmark, chain, n_observations):
+    rng = np.random.default_rng(0)
+    horizon = 24
+    times = np.linspace(0, horizon, n_observations, dtype=int)
+    observations = ObservationSet(
+        tuple(
+            Observation.uniform(
+                int(time),
+                N_STATES,
+                range(
+                    500 + int(time) * 3, 505 + int(time) * 3
+                ),
+            )
+            for time in sorted(set(int(t) for t in times))
+        )
+    )
+    marginals = benchmark.pedantic(
+        lambda: posterior_marginals(chain, observations, horizon=horizon),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(marginals) == horizon + 1
+
+
+@pytest.mark.parametrize("n_objects", [10, 40])
+def test_nearest_neighbor_vs_database_size(benchmark, n_objects):
+    n_states = 300
+    chain = make_line_chain(n_states, seed=78)
+    database = TrajectoryDatabase.with_chain(
+        chain, state_space=LineStateSpace(n_states)
+    )
+    rng = np.random.default_rng(1)
+    for index in range(n_objects):
+        database.add(
+            UncertainObject.at_state(
+                f"o{index}", n_states, int(rng.integers(0, n_states))
+            )
+        )
+    result = benchmark.pedantic(
+        lambda: nearest_neighbor_probabilities(
+            database, (150.0,), time=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert sum(result.values()) == pytest.approx(1.0)

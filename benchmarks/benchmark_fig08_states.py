@@ -1,0 +1,74 @@
+"""Figure 8: query runtime vs the number of states.
+
+Paper setup -- Fig. 8(a): |D| = 1,000 objects, |S| = 2,000..18,000, the
+default window [100,120] x [20,25], Monte-Carlo with 100 samples per
+object.  Fig. 8(b): |D| = 100,000 over |S| = 10,000..90,000, OB vs QB.
+
+Expected shape (paper): MC is orders of magnitude slower than OB, which
+is in turn much slower than QB; all three grow with |S|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.query import PSTExistsQuery
+
+from conftest import paper_window, synthetic_database
+
+FIG8A_STATES = [2_000, 6_000, 10_000]
+FIG8B_STATES = [10_000, 30_000]
+
+
+def _run(database, method, n_samples=100):
+    engine = QueryEngine(database)
+    query = PSTExistsQuery(paper_window(database.n_states))
+    return engine.evaluate(
+        query, method=method, n_samples=n_samples, seed=0
+    )
+
+
+@pytest.mark.parametrize("n_states", FIG8A_STATES)
+def test_fig8a_mc(benchmark, n_states):
+    database = synthetic_database(n_objects=100, n_states=n_states)
+    result = benchmark.pedantic(
+        lambda: _run(database, "mc"), rounds=1, iterations=1
+    )
+    assert len(result) == 100
+
+
+@pytest.mark.parametrize("n_states", FIG8A_STATES)
+def test_fig8a_ob(benchmark, n_states):
+    database = synthetic_database(n_objects=100, n_states=n_states)
+    result = benchmark.pedantic(
+        lambda: _run(database, "ob"), rounds=2, iterations=1
+    )
+    assert len(result) == 100
+
+
+@pytest.mark.parametrize("n_states", FIG8A_STATES)
+def test_fig8a_qb(benchmark, n_states):
+    database = synthetic_database(n_objects=100, n_states=n_states)
+    result = benchmark.pedantic(
+        lambda: _run(database, "qb"), rounds=3, iterations=1
+    )
+    assert len(result) == 100
+
+
+@pytest.mark.parametrize("n_states", FIG8B_STATES)
+def test_fig8b_ob(benchmark, n_states):
+    database = synthetic_database(n_objects=400, n_states=n_states)
+    result = benchmark.pedantic(
+        lambda: _run(database, "ob"), rounds=1, iterations=1
+    )
+    assert len(result) == 400
+
+
+@pytest.mark.parametrize("n_states", FIG8B_STATES)
+def test_fig8b_qb(benchmark, n_states):
+    database = synthetic_database(n_objects=400, n_states=n_states)
+    result = benchmark.pedantic(
+        lambda: _run(database, "qb"), rounds=3, iterations=1
+    )
+    assert len(result) == 400

@@ -1,0 +1,82 @@
+"""Figure 9(a)-(c): runtime vs the query start time.
+
+Paper setup: the window's time interval slides from t=5 to t=50 on the
+synthetic dataset (a), the Munich road network (b) and the North America
+road network (c).
+
+Expected shape (paper): OB runtime grows roughly linearly with the start
+time (more forward transitions per object); QB grows far more slowly and
+stays within fractions of a second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.query import PSTExistsQuery, SpatioTemporalWindow
+
+from conftest import road_database, synthetic_database
+
+START_TIMES = [10, 30, 50]
+
+
+def _window_for(database, start):
+    region_high = min(120, database.n_states - 1)
+    return SpatioTemporalWindow.from_ranges(
+        100, region_high, start, start + 5
+    )
+
+
+def _run(database, start, method):
+    engine = QueryEngine(database)
+    query = PSTExistsQuery(_window_for(database, start))
+    return engine.evaluate(query, method=method)
+
+
+@pytest.mark.parametrize("start", START_TIMES)
+def test_fig9a_synthetic_ob(benchmark, start):
+    database = synthetic_database(n_objects=100, n_states=5_000)
+    benchmark.pedantic(
+        lambda: _run(database, start, "ob"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("start", START_TIMES)
+def test_fig9a_synthetic_qb(benchmark, start):
+    database = synthetic_database(n_objects=100, n_states=5_000)
+    benchmark.pedantic(
+        lambda: _run(database, start, "qb"), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("start", START_TIMES)
+def test_fig9b_munich_ob(benchmark, start):
+    database = road_database("munich", n_objects=100)
+    benchmark.pedantic(
+        lambda: _run(database, start, "ob"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("start", START_TIMES)
+def test_fig9b_munich_qb(benchmark, start):
+    database = road_database("munich", n_objects=100)
+    benchmark.pedantic(
+        lambda: _run(database, start, "qb"), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("start", START_TIMES)
+def test_fig9c_north_america_ob(benchmark, start):
+    database = road_database("north_america", n_objects=100)
+    benchmark.pedantic(
+        lambda: _run(database, start, "ob"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("start", START_TIMES)
+def test_fig9c_north_america_qb(benchmark, start):
+    database = road_database("north_america", n_objects=100)
+    benchmark.pedantic(
+        lambda: _run(database, start, "qb"), rounds=3, iterations=1
+    )

@@ -1,0 +1,75 @@
+"""Figure 10: the three query predicates under OB and QB.
+
+Paper setup: PST-exists, PST-for-all and PST-k-times over a growing query
+window (1..10 timeslots), once with the object-based approach (Fig. 10(a))
+and once with the query-based approach (Fig. 10(b)).
+
+Expected shape (paper): exists and for-all cost about the same; k-times
+is the most expensive and scales roughly linearly with the window length;
+under QB everything runs in a fraction of the OB time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.query import (
+    PSTExistsQuery,
+    PSTForAllQuery,
+    PSTKTimesQuery,
+    SpatioTemporalWindow,
+)
+
+from conftest import synthetic_database
+
+WINDOW_LENGTHS = [2, 6, 10]
+N_OBJECTS = 60
+N_STATES = 3_000
+
+
+def _window(length):
+    return SpatioTemporalWindow.from_ranges(
+        100, 120, 20, 20 + length - 1
+    )
+
+
+def _query_for(predicate, length):
+    window = _window(length)
+    if predicate == "exists":
+        return PSTExistsQuery(window)
+    if predicate == "forall":
+        return PSTForAllQuery(window)
+    return PSTKTimesQuery(window)
+
+
+@pytest.mark.parametrize("length", WINDOW_LENGTHS)
+@pytest.mark.parametrize("predicate", ["exists", "forall", "ktimes"])
+def test_fig10a_ob_predicates(benchmark, predicate, length):
+    database = synthetic_database(
+        n_objects=N_OBJECTS, n_states=N_STATES
+    )
+    engine = QueryEngine(database)
+    query = _query_for(predicate, length)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(query, method="ob"),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == N_OBJECTS
+
+
+@pytest.mark.parametrize("length", WINDOW_LENGTHS)
+@pytest.mark.parametrize("predicate", ["exists", "forall", "ktimes"])
+def test_fig10b_qb_predicates(benchmark, predicate, length):
+    database = synthetic_database(
+        n_objects=N_OBJECTS, n_states=N_STATES
+    )
+    engine = QueryEngine(database)
+    query = _query_for(predicate, length)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(query, method="qb"),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result) == N_OBJECTS

@@ -1,0 +1,74 @@
+"""Figure 11: the impact of the locality parameters.
+
+Paper setup -- Fig. 11(a): ``max_step`` sweeps 10..100 (the width of the
+window of states reachable in one transition); Fig. 11(b):
+``state_spread`` sweeps 2..20 (the out-degree of each state).
+
+Expected shape (paper): both OB and QB scale *at most linearly* with
+either parameter (denser / wider transition matrices mean proportionally
+more work per vector-matrix product).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.query import PSTExistsQuery
+
+from conftest import paper_window, synthetic_database
+
+MAX_STEPS = [20, 60, 100]
+STATE_SPREADS = [4, 12, 20]
+N_OBJECTS = 100
+N_STATES = 5_000
+
+
+def _run(database, method):
+    engine = QueryEngine(database)
+    query = PSTExistsQuery(paper_window(database.n_states))
+    return engine.evaluate(query, method=method)
+
+
+@pytest.mark.parametrize("max_step", MAX_STEPS)
+def test_fig11a_max_step_ob(benchmark, max_step):
+    database = synthetic_database(
+        n_objects=N_OBJECTS, n_states=N_STATES, max_step=max_step
+    )
+    benchmark.pedantic(
+        lambda: _run(database, "ob"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("max_step", MAX_STEPS)
+def test_fig11a_max_step_qb(benchmark, max_step):
+    database = synthetic_database(
+        n_objects=N_OBJECTS, n_states=N_STATES, max_step=max_step
+    )
+    benchmark.pedantic(
+        lambda: _run(database, "qb"), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("state_spread", STATE_SPREADS)
+def test_fig11b_state_spread_ob(benchmark, state_spread):
+    database = synthetic_database(
+        n_objects=N_OBJECTS,
+        n_states=N_STATES,
+        state_spread=state_spread,
+    )
+    benchmark.pedantic(
+        lambda: _run(database, "ob"), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("state_spread", STATE_SPREADS)
+def test_fig11b_state_spread_qb(benchmark, state_spread):
+    database = synthetic_database(
+        n_objects=N_OBJECTS,
+        n_states=N_STATES,
+        state_spread=state_spread,
+    )
+    benchmark.pedantic(
+        lambda: _run(database, "qb"), rounds=3, iterations=1
+    )

@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark suite.
+
+Databases are built once per session and cached by configuration, so the
+benchmark timings measure *query processing*, not data generation.
+
+Scales are laptop-sized: large enough that the paper's orderings
+(MC >> OB >> QB, growth trends across parameters) are visible, small
+enough that the full suite finishes in minutes.  The ``repro-bench`` CLI
+runs the full-resolution sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.query import SpatioTemporalWindow
+from repro.database.uncertain_db import TrajectoryDatabase
+from repro.workloads.road_network import (
+    make_road_database,
+    munich_like_config,
+    north_america_like_config,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    make_synthetic_database,
+)
+
+_CACHE: Dict[Tuple, TrajectoryDatabase] = {}
+
+
+def synthetic_database(
+    n_objects: int = 200,
+    n_states: int = 5_000,
+    state_spread: int = 5,
+    max_step: int = 40,
+    seed: int = 1234,
+) -> TrajectoryDatabase:
+    """A cached synthetic database for the given Table I parameters."""
+    key = ("synthetic", n_objects, n_states, state_spread, max_step, seed)
+    if key not in _CACHE:
+        _CACHE[key] = make_synthetic_database(
+            SyntheticConfig(
+                n_objects=n_objects,
+                n_states=n_states,
+                state_spread=state_spread,
+                max_step=max_step,
+                seed=seed,
+            )
+        )
+    return _CACHE[key]
+
+
+def road_database(which: str, n_objects: int = 200) -> TrajectoryDatabase:
+    """A cached Munich-like or NA-like road database (scaled down)."""
+    key = ("road", which, n_objects)
+    if key not in _CACHE:
+        if which == "munich":
+            config = munich_like_config(scale=0.03, seed=4)
+        elif which == "north_america":
+            config = north_america_like_config(scale=0.03, seed=5)
+        else:
+            raise ValueError(f"unknown road network {which!r}")
+        _CACHE[key] = make_road_database(config, n_objects=n_objects)
+    return _CACHE[key]
+
+
+def paper_window(n_states: int) -> SpatioTemporalWindow:
+    """The paper's default window clipped to the state space."""
+    return SpatioTemporalWindow.from_ranges(
+        100, min(120, n_states - 1), 20, 25
+    )

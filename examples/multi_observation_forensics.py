@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Multi-observation interpolation: "was the suspect near the scene?"
+
+The Section VI machinery answers queries *between* observations: given a
+sighting before and after the query window, which possible worlds remain,
+and what fraction of them crosses the window?
+
+This example builds a corridor world (a 1-D line of states), observes an
+object at both ends of a time interval, and asks for the probability that
+it passed through a monitored segment in between -- once with one
+observation (extrapolation) and once with both (interpolation).  The
+second observation changes the answer drastically; a Monte-Carlo
+importance sampler validates the exact result.
+
+Run:  python examples/multi_observation_forensics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.workloads.synthetic import make_line_chain
+
+
+def main() -> None:
+    n_states = 60
+    # a random-walk-ish corridor: from each state, 4 successors within
+    # +/- 4 states
+    chain = make_line_chain(
+        n_states, state_spread=4, max_step=8, seed=3
+    )
+
+    # the monitored segment: states 28..32, watched at timestamps 4..8
+    window = repro.SpatioTemporalWindow(
+        frozenset(range(28, 33)), frozenset(range(4, 9))
+    )
+
+    # sighting 1: the object starts around state 20 at t = 0
+    first = repro.Observation.uniform(0, n_states, range(19, 22))
+
+    print("== extrapolation: one sighting at t=0 near state 20 ==")
+    p_single = repro.ob_exists_probability(
+        chain, first.distribution, window
+    )
+    print(f"P(passes the monitored segment) = {p_single:.3f}")
+
+    # ------------------------------------------------------------------
+    # sighting 2a: at t = 12 the object is seen near state 40 -- it must
+    # have moved right, most plausibly through the segment
+    # ------------------------------------------------------------------
+    second_far = repro.Observation.uniform(12, n_states, range(34, 38))
+    p_far = repro.ob_exists_probability_multi(
+        chain,
+        repro.ObservationSet.of(first, second_far),
+        window,
+    )
+    print("\n== interpolation: second sighting at t=12 near state 35 ==")
+    print(f"P(passed the segment | both sightings) = {p_far:.3f}")
+
+    # ------------------------------------------------------------------
+    # sighting 2b: at t = 12 the object is seen near state 10 -- it
+    # moved left, away from the segment
+    # ------------------------------------------------------------------
+    second_near = repro.Observation.uniform(12, n_states, range(9, 12))
+    p_near = repro.ob_exists_probability_multi(
+        chain,
+        repro.ObservationSet.of(first, second_near),
+        window,
+    )
+    print("\n== interpolation: second sighting at t=12 near state 10 ==")
+    print(f"P(passed the segment | both sightings) = {p_near:.3f}")
+
+    print(
+        "\nThe second observation re-weights the possible worlds "
+        "(paper Eq. 1):\n"
+        f"  moving right raises the answer "
+        f"({p_single:.3f} -> {p_far:.3f}),\n"
+        f"  moving left lowers it ({p_single:.3f} -> {p_near:.3f})."
+    )
+
+    # ------------------------------------------------------------------
+    # validation: importance-sampling Monte-Carlo reaches the same value
+    # ------------------------------------------------------------------
+    print("\n== Monte-Carlo validation (importance sampling) ==")
+    sampler = repro.MonteCarloSampler(chain, seed=0)
+    estimate = sampler.exists_probability_multi(
+        repro.ObservationSet.of(first, second_far),
+        window,
+        n_samples=50_000,
+    )
+    low, high = estimate.confidence_interval()
+    print(
+        f"exact {p_far:.4f} vs sampled {estimate.estimate:.4f} "
+        f"(95% CI [{low:.4f}, {high:.4f}])"
+    )
+    inside = low - 1e-9 <= p_far <= high + 1e-9
+    print("exact value inside the confidence interval:",
+          "yes" if inside else "no")
+
+    # ------------------------------------------------------------------
+    # bonus: the posterior location at an intermediate timestamp
+    # ------------------------------------------------------------------
+    print("\n== posterior location at t = 6 given both sightings ==")
+    # forward pass fused with backward evidence via Lemma 1:
+    forward = chain.propagate(first.distribution, 6)
+    # the likelihood of reaching the second sighting from each state in
+    # the remaining 6 steps, via repeated column-action of the chain
+    obs_vector = second_far.distribution.vector
+    likelihood = obs_vector.copy()
+    for _ in range(6):
+        likelihood = np.asarray(
+            chain.matrix @ likelihood, dtype=float
+        )
+    posterior = forward.fuse(
+        repro.StateDistribution(likelihood / likelihood.sum())
+    )
+    top = sorted(posterior.items(), key=lambda pair: -pair[1])[:5]
+    for state, probability in top:
+        print(f"  state {state}: {probability:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""The ``repro-bench`` command line.
+
+Examples::
+
+    repro-bench --list
+    repro-bench fig8a
+    repro-bench --all --scale 0.5 --output results/
+
+Each experiment prints an ASCII table to stdout; with ``--output`` it
+also writes ``<id>.md`` and ``<id>.csv`` into the given directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import to_ascii_table, to_csv, to_markdown
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the evaluation of 'Querying Uncertain "
+                    "Spatio-Temporal Data' (ICDE 2012).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="size multiplier for databases/state spaces (default 1.0 = "
+             "laptop scale)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory for per-experiment .md and .csv files",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    ids = sorted(EXPERIMENTS) if args.all else args.experiments
+    if not ids:
+        print(
+            "no experiments selected (use ids, --all, or --list)",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        series = run_experiment(experiment_id, scale=args.scale)
+        print(to_ascii_table(series))
+        if args.output is not None:
+            (args.output / f"{experiment_id}.md").write_text(
+                to_markdown(series)
+            )
+            (args.output / f"{experiment_id}.csv").write_text(
+                to_csv(series)
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Rendering of experiment series as ASCII, Markdown and CSV."""
+
+from __future__ import annotations
+
+import io
+from typing import List, Sequence
+
+from repro.bench.harness import ExperimentSeries
+
+__all__ = ["to_ascii_table", "to_markdown", "to_csv"]
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 1e-4:
+        return f"{value:.3e}"
+    return f"{value:.6g}"
+
+
+def _rows(series: ExperimentSeries) -> List[List[str]]:
+    labels = sorted(series.series)
+    header = [series.x_label] + labels
+    rows = [header]
+    for index, x in enumerate(series.x_values):
+        row = [_format_value(float(x))]
+        for label in labels:
+            row.append(_format_value(series.series[label][index]))
+        rows.append(row)
+    return rows
+
+
+def to_ascii_table(series: ExperimentSeries) -> str:
+    """A fixed-width table, one row per x value, one column per curve."""
+    series.validate()
+    rows = _rows(series)
+    widths = [
+        max(len(row[column]) for row in rows)
+        for column in range(len(rows[0]))
+    ]
+    out = io.StringIO()
+    out.write(f"{series.title}\n")
+    if series.notes:
+        out.write(f"({series.notes})\n")
+    separator = "-+-".join("-" * width for width in widths)
+    for row_index, row in enumerate(rows):
+        line = " | ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        )
+        out.write(line + "\n")
+        if row_index == 0:
+            out.write(separator + "\n")
+    return out.getvalue()
+
+
+def to_markdown(series: ExperimentSeries) -> str:
+    """A GitHub-flavoured Markdown table with title and notes."""
+    series.validate()
+    rows = _rows(series)
+    out = io.StringIO()
+    out.write(f"### {series.title} (`{series.experiment_id}`)\n\n")
+    if series.notes:
+        out.write(f"_{series.notes}_\n\n")
+    out.write("| " + " | ".join(rows[0]) + " |\n")
+    out.write("|" + "|".join("---" for _ in rows[0]) + "|\n")
+    for row in rows[1:]:
+        out.write("| " + " | ".join(row) + " |\n")
+    return out.getvalue()
+
+
+def to_csv(series: ExperimentSeries) -> str:
+    """Plain CSV (header row, then one row per x value)."""
+    series.validate()
+    rows = _rows(series)
+    return "\n".join(",".join(row) for row in rows) + "\n"

@@ -1,0 +1,264 @@
+"""Probability distributions over discrete states.
+
+A :class:`StateDistribution` is the paper's ``P(o, t)`` -- a row vector with
+one probability per state (Section IV).  The class wraps a dense numpy
+vector (distributions become dense after a few Markov transitions anyway)
+and provides the operations the query processors need:
+
+* construction from points, dicts, or arrays;
+* one-step transition (Corollary 1) lives in :class:`repro.core.markov.MarkovChain`;
+* Bayesian fusion of independent observations (Lemma 1):
+  elementwise product followed by normalisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import (
+    DimensionMismatchError,
+    InfeasibleEvidenceError,
+    ValidationError,
+)
+
+__all__ = ["StateDistribution"]
+
+_TOLERANCE = 1e-9
+
+
+class StateDistribution:
+    """A probability distribution over ``n`` states.
+
+    Instances are immutable by convention: all operations return new
+    distributions.  The underlying vector is available as the read-only
+    :attr:`vector` numpy array.
+
+    Args:
+        vector: non-negative weights, one per state.
+        normalize: when True, rescale to sum one; when False the input must
+            already sum to one within tolerance.
+    """
+
+    __slots__ = ("_vector",)
+
+    def __init__(
+        self, vector: Sequence[float], normalize: bool = False
+    ) -> None:
+        array = np.asarray(vector, dtype=float)
+        if array.ndim != 1:
+            raise ValidationError(
+                f"distribution must be one-dimensional, got shape {array.shape}"
+            )
+        if array.size == 0:
+            raise ValidationError("distribution over zero states")
+        if np.any(array < -_TOLERANCE):
+            worst = float(array.min())
+            raise ValidationError(
+                f"distribution has negative mass (min entry {worst})"
+            )
+        array = np.clip(array, 0.0, None)
+        total = float(array.sum())
+        if normalize:
+            if total <= 0.0:
+                raise InfeasibleEvidenceError(
+                    "cannot normalize a zero-mass vector"
+                )
+            array = array / total
+        elif abs(total - 1.0) > 1e-6:
+            raise ValidationError(
+                f"distribution mass is {total}, expected 1 "
+                f"(pass normalize=True to rescale)"
+            )
+        array.setflags(write=False)
+        self._vector = array
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def point(cls, n_states: int, state: int) -> "StateDistribution":
+        """The degenerate distribution: all mass on one state."""
+        if not (0 <= state < n_states):
+            raise ValidationError(
+                f"state {state} out of range [0, {n_states})"
+            )
+        vector = np.zeros(n_states, dtype=float)
+        vector[state] = 1.0
+        return cls(vector)
+
+    @classmethod
+    def uniform(
+        cls, n_states: int, support: Iterable[int] = ()
+    ) -> "StateDistribution":
+        """Uniform over ``support`` (or over all states when empty)."""
+        vector = np.zeros(n_states, dtype=float)
+        states = list(support)
+        if not states:
+            states = list(range(n_states))
+        for state in states:
+            if not (0 <= state < n_states):
+                raise ValidationError(
+                    f"state {state} out of range [0, {n_states})"
+                )
+            vector[state] = 1.0
+        return cls(vector, normalize=True)
+
+    @classmethod
+    def from_dict(
+        cls, n_states: int, weights: Mapping[int, float], normalize: bool = False
+    ) -> "StateDistribution":
+        """Build from a sparse ``{state: probability}`` mapping."""
+        vector = np.zeros(n_states, dtype=float)
+        for state, weight in weights.items():
+            if not (0 <= state < n_states):
+                raise ValidationError(
+                    f"state {state} out of range [0, {n_states})"
+                )
+            vector[state] += float(weight)
+        return cls(vector, normalize=normalize)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def vector(self) -> np.ndarray:
+        """The underlying (read-only) probability vector."""
+        return self._vector
+
+    @property
+    def n_states(self) -> int:
+        """Number of states the distribution ranges over."""
+        return int(self._vector.size)
+
+    def probability(self, state: int) -> float:
+        """Probability of a single state."""
+        if not (0 <= state < self.n_states):
+            raise ValidationError(
+                f"state {state} out of range [0, {self.n_states})"
+            )
+        return float(self._vector[state])
+
+    def probability_of(self, region: Iterable[int]) -> float:
+        """Total probability of a set of states."""
+        states = list(region)
+        if not states:
+            return 0.0
+        return float(self._vector[np.asarray(states, dtype=int)].sum())
+
+    def support(self) -> Tuple[int, ...]:
+        """States with non-zero probability, ascending."""
+        return tuple(int(i) for i in np.nonzero(self._vector > 0.0)[0])
+
+    def support_size(self) -> int:
+        """Number of states with non-zero probability."""
+        return int(np.count_nonzero(self._vector > 0.0))
+
+    def mode(self) -> int:
+        """The most probable state (lowest index on ties)."""
+        return int(np.argmax(self._vector))
+
+    def entropy(self) -> float:
+        """Shannon entropy in bits (0 for a point distribution)."""
+        positive = self._vector[self._vector > 0.0]
+        return float(-(positive * np.log2(positive)).sum())
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(state, probability)`` for the support."""
+        for state in self.support():
+            yield state, float(self._vector[state])
+
+    def to_dict(self) -> Dict[int, float]:
+        """Sparse ``{state: probability}`` view of the support."""
+        return dict(self.items())
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def fuse(self, *others: "StateDistribution") -> "StateDistribution":
+        """Combine with independent observations per Lemma 1 of the paper.
+
+        The joint distribution of independent observations of the same
+        object at the same time is the normalised elementwise product.
+
+        Raises:
+            InfeasibleEvidenceError: when the product has zero mass, i.e.
+                the observations are contradictory under the model.
+            DimensionMismatchError: when state counts differ.
+        """
+        product = self._vector.copy()
+        for other in others:
+            if other.n_states != self.n_states:
+                raise DimensionMismatchError(
+                    f"cannot fuse distributions over {self.n_states} "
+                    f"and {other.n_states} states"
+                )
+            product *= other._vector
+        total = float(product.sum())
+        if total <= 0.0:
+            raise InfeasibleEvidenceError(
+                "observations are contradictory: fused mass is zero"
+            )
+        return StateDistribution(product / total)
+
+    def restrict(self, region: Iterable[int]) -> "StateDistribution":
+        """Condition on the object being inside ``region``.
+
+        Zeroes mass outside the region and renormalises.
+        """
+        mask = np.zeros(self.n_states, dtype=float)
+        for state in region:
+            if not (0 <= state < self.n_states):
+                raise ValidationError(
+                    f"state {state} out of range [0, {self.n_states})"
+                )
+            mask[state] = 1.0
+        product = self._vector * mask
+        total = float(product.sum())
+        if total <= 0.0:
+            raise InfeasibleEvidenceError(
+                "restriction removed all probability mass"
+            )
+        return StateDistribution(product / total)
+
+    def total_variation_distance(self, other: "StateDistribution") -> float:
+        """Total-variation distance ``0.5 * sum |p - q|``."""
+        if other.n_states != self.n_states:
+            raise DimensionMismatchError(
+                f"cannot compare distributions over {self.n_states} "
+                f"and {other.n_states} states"
+            )
+        return float(0.5 * np.abs(self._vector - other._vector).sum())
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one state from the distribution."""
+        return int(rng.choice(self.n_states, p=self._vector))
+
+    def allclose(self, other: "StateDistribution", tol: float = 1e-9) -> bool:
+        """Entrywise comparison within ``tol``."""
+        return (
+            self.n_states == other.n_states
+            and bool(np.allclose(self._vector, other._vector, atol=tol))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateDistribution):
+            return NotImplemented
+        return self.n_states == other.n_states and bool(
+            np.array_equal(self._vector, other._vector)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_states, self._vector.tobytes()))
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{state}: {probability:.4f}"
+            for state, probability in list(self.items())[:6]
+        )
+        suffix = ", ..." if self.support_size() > 6 else ""
+        return (
+            f"StateDistribution(n={self.n_states}, {{{entries}{suffix}}})"
+        )

@@ -1,0 +1,417 @@
+"""The query engine: one entry point for all queries and methods.
+
+:class:`QueryEngine` evaluates a PST query over every object of a
+:class:`~repro.database.uncertain_db.TrajectoryDatabase` using one of the
+paper's processing strategies:
+
+* ``"qb"`` (default) -- query-based: one backward pass per chain, then one
+  dot product per object (Section V-B).  Objects with multiple
+  observations automatically fall back to object-based Section VI
+  processing, since the backward vector cannot absorb per-object evidence.
+* ``"ob"`` -- object-based: one forward pass per object (Section V-A),
+  optionally behind the reachability pruning filter.
+* ``"mc"`` -- the Monte-Carlo baseline (Section VIII-A).
+
+Results come back as a :class:`QueryResult` mapping object ids to
+probabilities (or to visit-count distributions for PSTkQ).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.errors import QueryError, ValidationError
+from repro.core.ktimes import ktimes_distribution
+from repro.core.matrices import (
+    build_absorbing_matrices,
+    build_doubled_matrices,
+)
+from repro.core.montecarlo import MonteCarloSampler
+from repro.core.object_based import (
+    ob_exists_probability,
+    ob_exists_probability_multi,
+)
+from repro.core.query import (
+    PSTExistsQuery,
+    PSTForAllQuery,
+    PSTKTimesQuery,
+    PSTQuery,
+    SpatioTemporalWindow,
+)
+from repro.core.query_based import QueryBasedEvaluator
+from repro.database.pruning import ReachabilityPruner
+from repro.database.uncertain_db import TrajectoryDatabase
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+ResultValue = Union[float, np.ndarray]
+
+
+@dataclass
+class QueryResult:
+    """The per-object answers of one query evaluation.
+
+    Attributes:
+        query: the evaluated query.
+        method: ``"qb"``, ``"ob"`` or ``"mc"``.
+        values: ``{object_id: probability}`` for exists/for-all queries,
+            ``{object_id: count distribution}`` for k-times queries with
+            ``k=None``.
+        elapsed_seconds: wall-clock evaluation time.
+    """
+
+    query: PSTQuery
+    method: str
+    values: Dict[str, ResultValue]
+    elapsed_seconds: float = 0.0
+
+    def probability(self, object_id: str) -> ResultValue:
+        """The answer for one object."""
+        try:
+            return self.values[object_id]
+        except KeyError:
+            raise ValidationError(
+                f"no result for object {object_id!r}"
+            ) from None
+
+    def above(self, threshold: float) -> Dict[str, float]:
+        """Objects whose (scalar) probability reaches ``threshold``."""
+        return {
+            object_id: float(value)
+            for object_id, value in self.values.items()
+            if np.isscalar(value) and float(value) >= threshold
+        }
+
+    def top(self, k: int) -> List[Tuple[str, float]]:
+        """The ``k`` most probable objects (scalar results only)."""
+        scalars = [
+            (object_id, float(value))
+            for object_id, value in self.values.items()
+            if np.isscalar(value)
+        ]
+        scalars.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scalars[:k]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class QueryEngine:
+    """Evaluates PST queries over a trajectory database.
+
+    Args:
+        database: the database to query.
+        backend: linear-algebra backend name (default scipy).
+    """
+
+    def __init__(
+        self, database: TrajectoryDatabase, backend: Optional[str] = None
+    ) -> None:
+        self.database = database
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        query: PSTQuery,
+        method: str = "qb",
+        prune: bool = False,
+        n_samples: int = 100,
+        seed: Optional[int] = None,
+    ) -> QueryResult:
+        """Evaluate ``query`` for every object in the database.
+
+        Args:
+            query: a :class:`PSTExistsQuery`, :class:`PSTForAllQuery` or
+                :class:`PSTKTimesQuery`.
+            method: ``"qb"``, ``"ob"`` or ``"mc"``.
+            prune: apply the reachability filter first (OB only); pruned
+                objects are reported with probability zero.
+            n_samples: Monte-Carlo sample count (MC only; paper default
+                100).
+            seed: Monte-Carlo RNG seed.
+
+        Returns:
+            A :class:`QueryResult`; for PSTkQ with ``k=None`` the values
+            are full count distributions, otherwise scalars.
+        """
+        if method not in ("qb", "ob", "mc"):
+            raise QueryError(
+                f"unknown method {method!r}; expected 'qb', 'ob' or 'mc'"
+            )
+        query.window.validate_for(self.database.n_states)
+        started = _time.perf_counter()
+        if isinstance(query, PSTExistsQuery):
+            values = self._evaluate_window(
+                query.window, method, prune, n_samples, seed,
+                complemented=False,
+            )
+        elif isinstance(query, PSTForAllQuery):
+            values = self._evaluate_forall(
+                query, method, n_samples, seed
+            )
+        elif isinstance(query, PSTKTimesQuery):
+            values = self._evaluate_ktimes(query, method, n_samples, seed)
+        else:
+            raise QueryError(f"unsupported query type {type(query)!r}")
+        elapsed = _time.perf_counter() - started
+        return QueryResult(
+            query=query,
+            method=method,
+            values=values,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # extension queries (thin, validated pass-throughs)
+    # ------------------------------------------------------------------
+    def first_passage(self, object_id: str, region, horizon: int):
+        """First-entry-time distribution of one object into ``region``.
+
+        See :func:`repro.core.temporal.first_passage_distribution`.
+        """
+        from repro.core.temporal import first_passage_distribution
+
+        obj = self.database.get(object_id)
+        chain = self.database.chain(obj.chain_id)
+        return first_passage_distribution(
+            chain,
+            obj.initial.distribution,
+            region,
+            horizon,
+            start_time=obj.initial.time,
+        )
+
+    def nearest_neighbor(self, location, time: int) -> Dict[str, float]:
+        """Per-object probability of being nearest to ``location``.
+
+        See :func:`repro.core.nearest_neighbor.nearest_neighbor_probabilities`.
+        """
+        from repro.core.nearest_neighbor import (
+            nearest_neighbor_probabilities,
+        )
+
+        return nearest_neighbor_probabilities(
+            self.database, location, time
+        )
+
+    def sequence_probabilities(
+        self, pattern, length: int
+    ) -> Dict[str, float]:
+        """Per-object probability that its trajectory spells ``pattern``.
+
+        Objects observed at different times are each evaluated from
+        their own observation; see
+        :func:`repro.core.sequence.sequence_probability`.
+        """
+        from repro.core.sequence import sequence_probability
+
+        values: Dict[str, float] = {}
+        for obj in self.database:
+            chain = self.database.chain(obj.chain_id)
+            values[obj.object_id] = sequence_probability(
+                chain, obj.initial.distribution, pattern, length
+            )
+        return values
+
+    # ------------------------------------------------------------------
+    # exists
+    # ------------------------------------------------------------------
+    def _evaluate_window(
+        self,
+        window: SpatioTemporalWindow,
+        method: str,
+        prune: bool,
+        n_samples: int,
+        seed: Optional[int],
+        complemented: bool,
+    ) -> Dict[str, ResultValue]:
+        values: Dict[str, ResultValue] = {}
+        groups = self.database.objects_by_chain()
+        for chain_id, objects in groups.items():
+            chain = self.database.chain(chain_id)
+            if method == "mc":
+                sampler = MonteCarloSampler(chain, seed=seed)
+                for obj in objects:
+                    if obj.has_multiple_observations():
+                        estimate = sampler.exists_probability_multi(
+                            obj.observations, window, n_samples
+                        )
+                    else:
+                        estimate = sampler.exists_probability(
+                            obj.initial.distribution,
+                            window,
+                            n_samples,
+                            start_time=obj.initial.time,
+                        )
+                    values[obj.object_id] = estimate.estimate
+                continue
+
+            if prune:
+                pruner = ReachabilityPruner(self.database)
+                surviving = {
+                    obj.object_id
+                    for obj in pruner.candidates(window)
+                }
+            else:
+                surviving = None
+
+            single = [
+                obj for obj in objects
+                if not obj.has_multiple_observations()
+            ]
+            multi = [
+                obj for obj in objects if obj.has_multiple_observations()
+            ]
+
+            if method == "qb" and single:
+                evaluators: Dict[int, QueryBasedEvaluator] = {}
+                for obj in single:
+                    if surviving is not None and (
+                        obj.object_id not in surviving
+                    ):
+                        values[obj.object_id] = 0.0
+                        continue
+                    start = obj.initial.time
+                    evaluator = evaluators.get(start)
+                    if evaluator is None:
+                        evaluator = QueryBasedEvaluator(
+                            chain,
+                            window,
+                            start_time=start,
+                            backend=self.backend,
+                        )
+                        evaluators[start] = evaluator
+                    values[obj.object_id] = evaluator.probability(
+                        obj.initial.distribution
+                    )
+            elif single:  # ob
+                matrices = build_absorbing_matrices(
+                    chain, window.region, self.backend
+                )
+                for obj in single:
+                    if surviving is not None and (
+                        obj.object_id not in surviving
+                    ):
+                        values[obj.object_id] = 0.0
+                        continue
+                    values[obj.object_id] = ob_exists_probability(
+                        chain,
+                        obj.initial.distribution,
+                        window,
+                        start_time=obj.initial.time,
+                        matrices=matrices,
+                        backend=self.backend,
+                    )
+
+            if multi:  # Section VI path for both qb and ob
+                doubled = build_doubled_matrices(
+                    chain, window.region, self.backend
+                )
+                for obj in multi:
+                    if surviving is not None and (
+                        obj.object_id not in surviving
+                    ):
+                        values[obj.object_id] = 0.0
+                        continue
+                    values[obj.object_id] = ob_exists_probability_multi(
+                        chain,
+                        obj.observations,
+                        window,
+                        matrices=doubled,
+                    )
+        return values
+
+    # ------------------------------------------------------------------
+    # for-all (complement identity, Section VII)
+    # ------------------------------------------------------------------
+    def _evaluate_forall(
+        self,
+        query: PSTForAllQuery,
+        method: str,
+        n_samples: int,
+        seed: Optional[int],
+    ) -> Dict[str, ResultValue]:
+        if method == "mc":
+            values: Dict[str, ResultValue] = {}
+            for chain_id, objects in self.database.objects_by_chain().items():
+                sampler = MonteCarloSampler(
+                    self.database.chain(chain_id), seed=seed
+                )
+                for obj in objects:
+                    estimate = sampler.forall_probability(
+                        obj.initial.distribution,
+                        query.window,
+                        n_samples,
+                        start_time=obj.initial.time,
+                    )
+                    values[obj.object_id] = estimate.estimate
+            return values
+        complement = (
+            frozenset(range(self.database.n_states)) - query.region
+        )
+        if not complement:
+            return {obj.object_id: 1.0 for obj in self.database}
+        inner = self._evaluate_window(
+            query.window.with_region(complement),
+            method,
+            prune=False,
+            n_samples=n_samples,
+            seed=seed,
+            complemented=True,
+        )
+        return {
+            object_id: 1.0 - float(value)
+            for object_id, value in inner.items()
+        }
+
+    # ------------------------------------------------------------------
+    # k-times
+    # ------------------------------------------------------------------
+    def _evaluate_ktimes(
+        self,
+        query: PSTKTimesQuery,
+        method: str,
+        n_samples: int,
+        seed: Optional[int],
+    ) -> Dict[str, ResultValue]:
+        values: Dict[str, ResultValue] = {}
+        for chain_id, objects in self.database.objects_by_chain().items():
+            chain = self.database.chain(chain_id)
+            if method == "mc":
+                sampler = MonteCarloSampler(chain, seed=seed)
+            for obj in objects:
+                if obj.has_multiple_observations():
+                    raise QueryError(
+                        "PSTkQ with multiple observations is not part of "
+                        "the paper's framework; query the first "
+                        "observation only"
+                    )
+                if method == "mc":
+                    distribution = sampler.ktimes_distribution(
+                        obj.initial.distribution,
+                        query.window,
+                        n_samples,
+                        start_time=obj.initial.time,
+                    )
+                else:
+                    # OB and QB share the C(t) algorithm per object; the
+                    # QB-specific blocked evaluator is available separately
+                    # for benchmarking (QueryBasedKTimesEvaluator).
+                    distribution = ktimes_distribution(
+                        chain,
+                        obj.initial.distribution,
+                        query.window,
+                        start_time=obj.initial.time,
+                    )
+                if query.k is None:
+                    values[obj.object_id] = distribution
+                else:
+                    values[obj.object_id] = float(distribution[query.k])
+        return values

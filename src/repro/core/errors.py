@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Validation failures raise the most specific subclass
+available; the message always names the offending value.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value violates a documented invariant."""
+
+
+class NotStochasticError(ValidationError):
+    """A transition matrix is not row-stochastic.
+
+    Raised when a row of a transition matrix contains a negative entry or
+    does not sum to one (within tolerance).
+    """
+
+
+class DimensionMismatchError(ValidationError):
+    """Two linear-algebra operands have incompatible shapes."""
+
+
+class StateSpaceError(ValidationError):
+    """A state index or geometric coordinate is outside the state space."""
+
+
+class QueryError(ValidationError):
+    """A query specification is malformed (empty regions, bad times...)."""
+
+
+class ObservationError(ValidationError):
+    """An observation is inconsistent (bad time, zero-mass distribution...)."""
+
+
+class InfeasibleEvidenceError(ReproError):
+    """All possible worlds were eliminated by the given observations.
+
+    Raised by observation fusion (Lemma 1 of the paper) when the product of
+    the observation distributions has zero total mass, i.e. the observations
+    contradict each other under the model.
+    """
+
+
+class BackendError(ReproError):
+    """The requested linear-algebra backend is unavailable or misused."""
+
+
+class SerializationError(ReproError):
+    """A persisted artifact cannot be read or written."""

@@ -1,0 +1,210 @@
+"""Estimating transition matrices from historical trajectories.
+
+Section IV of the paper assumes the transition probabilities are given,
+"e.g. derived from expert knowledge or derived from historical data.
+For example, ... the transition probabilities at each road intersection
+are usually estimated by historic traffic records."  This module supplies
+that estimation step so the library is usable end-to-end on raw
+trajectory logs:
+
+* :class:`ChainEstimator` -- accumulates transition counts from observed
+  (certain) trajectories and produces a maximum-likelihood
+  :class:`~repro.core.markov.MarkovChain`, with optional additive
+  (Laplace) smoothing over a caller-supplied support structure;
+* :func:`estimate_chain` -- one-shot convenience wrapper.
+
+Smoothing policy: rows with observations are MLE (optionally smoothed
+over the allowed successor set); states never observed as a source
+become self-absorbing (probability 1 of staying), which keeps the matrix
+stochastic without inventing transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.errors import ValidationError
+from repro.core.markov import MarkovChain
+from repro.core.trajectory import Trajectory
+
+__all__ = ["ChainEstimator", "estimate_chain"]
+
+
+class ChainEstimator:
+    """Accumulates transition counts and builds an ML transition matrix.
+
+    Args:
+        n_states: size of the state space.
+        support: optional ``{source: allowed successors}`` structure
+            (e.g. a road network's adjacency).  When given, observed
+            transitions outside the support raise, and smoothing spreads
+            pseudo-counts only over allowed successors.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        support: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> None:
+        if n_states < 1:
+            raise ValidationError(
+                f"n_states must be positive, got {n_states}"
+            )
+        self.n_states = int(n_states)
+        self._counts: Dict[int, Dict[int, float]] = {}
+        self._support: Optional[Dict[int, List[int]]] = None
+        if support is not None:
+            self._support = {}
+            for source, successors in support.items():
+                self._check_state(source)
+                targets = sorted({int(t) for t in successors})
+                for target in targets:
+                    self._check_state(target)
+                if not targets:
+                    raise ValidationError(
+                        f"state {source} has an empty successor set"
+                    )
+                self._support[int(source)] = targets
+
+    def _check_state(self, state: int) -> None:
+        if not (0 <= int(state) < self.n_states):
+            raise ValidationError(
+                f"state {state} out of range [0, {self.n_states})"
+            )
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def add_transition(
+        self, source: int, target: int, weight: float = 1.0
+    ) -> None:
+        """Record one observed transition (optionally weighted)."""
+        self._check_state(source)
+        self._check_state(target)
+        if weight <= 0:
+            raise ValidationError(
+                f"transition weight must be positive, got {weight}"
+            )
+        if self._support is not None:
+            allowed = self._support.get(int(source))
+            if allowed is None or int(target) not in allowed:
+                raise ValidationError(
+                    f"transition {source} -> {target} violates the "
+                    f"declared support structure"
+                )
+        row = self._counts.setdefault(int(source), {})
+        row[int(target)] = row.get(int(target), 0.0) + float(weight)
+
+    def add_trajectory(self, trajectory: Trajectory) -> None:
+        """Record every consecutive transition of a trajectory."""
+        for source, target in zip(
+            trajectory.states, trajectory.states[1:]
+        ):
+            self.add_transition(source, target)
+
+    def add_trajectories(
+        self, trajectories: Iterable[Trajectory]
+    ) -> None:
+        """Record a batch of trajectories."""
+        for trajectory in trajectories:
+            self.add_trajectory(trajectory)
+
+    @property
+    def total_transitions(self) -> float:
+        """Total (weighted) observed transitions."""
+        return sum(
+            sum(row.values()) for row in self._counts.values()
+        )
+
+    def count(self, source: int, target: int) -> float:
+        """Observed (weighted) count of one transition."""
+        self._check_state(source)
+        self._check_state(target)
+        return self._counts.get(int(source), {}).get(int(target), 0.0)
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def to_chain(self, smoothing: float = 0.0) -> MarkovChain:
+        """The maximum-likelihood chain (optionally Laplace-smoothed).
+
+        Args:
+            smoothing: pseudo-count added to every allowed successor of
+                an *observed* source state.  With a support structure the
+                allowed set is the declared adjacency; without one it is
+                the set of observed successors (so 0-count transitions
+                are never invented).
+
+        Returns:
+            A validated row-stochastic chain.  States never observed as
+            a source become absorbing self-loops.
+        """
+        if smoothing < 0:
+            raise ValidationError(
+                f"smoothing must be non-negative, got {smoothing}"
+            )
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for source in range(self.n_states):
+            observed = self._counts.get(source, {})
+            if not observed and (
+                self._support is None or smoothing == 0.0
+            ):
+                rows.append(source)
+                cols.append(source)
+                vals.append(1.0)
+                continue
+            if self._support is not None:
+                allowed = self._support.get(source)
+                if allowed is None:
+                    rows.append(source)
+                    cols.append(source)
+                    vals.append(1.0)
+                    continue
+            else:
+                allowed = sorted(observed)
+            weights = {
+                target: observed.get(target, 0.0) + smoothing
+                for target in allowed
+            }
+            total = sum(weights.values())
+            if total <= 0:
+                rows.append(source)
+                cols.append(source)
+                vals.append(1.0)
+                continue
+            for target, weight in weights.items():
+                if weight > 0:
+                    rows.append(source)
+                    cols.append(target)
+                    vals.append(weight / total)
+        matrix = sp.csr_matrix(
+            (vals, (rows, cols)),
+            shape=(self.n_states, self.n_states),
+            dtype=float,
+        )
+        return MarkovChain(matrix)
+
+
+def estimate_chain(
+    trajectories: Iterable[Trajectory],
+    n_states: int,
+    smoothing: float = 0.0,
+    support: Optional[Dict[int, Sequence[int]]] = None,
+) -> MarkovChain:
+    """One-shot chain estimation from a trajectory log.
+
+    Args:
+        trajectories: observed (certain) trajectories.
+        n_states: state-space size.
+        smoothing: Laplace pseudo-count (see
+            :meth:`ChainEstimator.to_chain`).
+        support: optional adjacency restriction.
+    """
+    estimator = ChainEstimator(n_states, support=support)
+    estimator.add_trajectories(trajectories)
+    return estimator.to_chain(smoothing=smoothing)

@@ -1,0 +1,133 @@
+"""Occupancy forecasting -- the paper's future-work analysis (Section IX).
+
+The conclusion sketches "data analysis tasks over spatio-temporal data
+(e.g. find areas that are expected to become congested together with the
+time periods of this expectation)".  With the Markov model this is a small
+extension: the *expected occupancy* of state ``s`` at time ``t`` is the
+sum over objects of their marginal probability of being at ``s``,
+
+    E[#objects at s at t] = sum_o P(o(t) = s),
+
+and a congestion report lists the ``(state, time)`` pairs whose expected
+occupancy crosses a threshold.  One forward sweep per chain suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import ValidationError
+from repro.core.markov import MarkovChain
+
+__all__ = [
+    "expected_occupancy",
+    "CongestionEvent",
+    "congestion_report",
+]
+
+
+def expected_occupancy(
+    chain: MarkovChain,
+    initials: Sequence[StateDistribution],
+    horizon: int,
+) -> np.ndarray:
+    """Expected object count per state per time.
+
+    Args:
+        chain: the shared Markov model.
+        initials: one distribution per object (their states at time 0).
+        horizon: forecast up to and including this timestamp.
+
+    Returns:
+        Array of shape ``(horizon + 1, n_states)``; entry ``[t, s]`` is the
+        expected number of objects at state ``s`` at time ``t``.
+    """
+    if horizon < 0:
+        raise ValidationError(f"horizon must be non-negative, got {horizon}")
+    if not initials:
+        raise ValidationError("need at least one object")
+    n = chain.n_states
+    total = np.zeros(n, dtype=float)
+    for initial in initials:
+        if initial.n_states != n:
+            raise ValidationError(
+                f"object distribution over {initial.n_states} states, "
+                f"chain over {n}"
+            )
+        total += initial.vector
+    occupancy = np.empty((horizon + 1, n), dtype=float)
+    occupancy[0] = total
+    vector = total
+    for time in range(1, horizon + 1):
+        vector = np.asarray(vector @ chain.matrix, dtype=float)
+        occupancy[time] = vector
+    return occupancy
+
+
+@dataclass(frozen=True)
+class CongestionEvent:
+    """A state-time pair whose expected occupancy crosses the threshold.
+
+    Attributes:
+        state: the congested state.
+        time: the timestamp of the congestion.
+        expected_count: the forecast expected number of objects.
+    """
+
+    state: int
+    time: int
+    expected_count: float
+
+
+def congestion_report(
+    chain: MarkovChain,
+    initials: Sequence[StateDistribution],
+    horizon: int,
+    threshold: float,
+    states_of_interest: Iterable[int] = (),
+) -> List[CongestionEvent]:
+    """Find ``(state, time)`` pairs expected to exceed ``threshold`` objects.
+
+    Args:
+        chain: the shared Markov model.
+        initials: per-object distributions at time 0.
+        horizon: last forecast timestamp.
+        threshold: minimum expected count to report.
+        states_of_interest: restrict the report to these states (all when
+            empty).
+
+    Returns:
+        Events sorted by decreasing expected count, ties by time then state.
+    """
+    if threshold < 0:
+        raise ValidationError(
+            f"threshold must be non-negative, got {threshold}"
+        )
+    occupancy = expected_occupancy(chain, initials, horizon)
+    if states_of_interest:
+        columns = sorted(set(int(s) for s in states_of_interest))
+        for state in columns:
+            if not (0 <= state < chain.n_states):
+                raise ValidationError(
+                    f"state {state} out of range [0, {chain.n_states})"
+                )
+    else:
+        columns = list(range(chain.n_states))
+    events: List[CongestionEvent] = []
+    selected = occupancy[:, columns]
+    times, column_positions = np.nonzero(selected >= threshold)
+    for time, position in zip(times, column_positions):
+        state = columns[int(position)]
+        events.append(
+            CongestionEvent(
+                state=state,
+                time=int(time),
+                expected_count=float(occupancy[int(time), state]),
+            )
+        )
+    events.sort(key=lambda e: (-e.expected_count, e.time, e.state))
+    return events

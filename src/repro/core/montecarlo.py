@@ -1,0 +1,302 @@
+"""Monte-Carlo baseline -- Section VIII-A.
+
+The paper's competitor "samples paths of each object and outputs the
+fraction of the sampled paths which fulfill the query predicate".  Since
+path sampling is a Bernoulli sequence, the standard deviation of the
+estimate is ``sqrt(p (1 - p) / n)`` -- the accuracy bound the paper quotes
+for 100 samples.
+
+The sampler here is vectorised over paths (all samples advance one
+timestep at a time, grouped by current state) but is still *orders of
+magnitude* slower than the exact matrix approaches, which is precisely the
+headline result of Figure 8(a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import (
+    InfeasibleEvidenceError,
+    QueryError,
+    ValidationError,
+)
+from repro.core.markov import MarkovChain
+from repro.core.observation import ObservationSet
+from repro.core.query import SpatioTemporalWindow
+
+__all__ = [
+    "MonteCarloResult",
+    "MonteCarloSampler",
+    "mc_exists_probability",
+    "mc_forall_probability",
+    "mc_ktimes_distribution",
+]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """An MC estimate with its Bernoulli error bound.
+
+    Attributes:
+        estimate: the sampled fraction ``p_hat``.
+        n_samples: number of sampled paths.
+    """
+
+    estimate: float
+    n_samples: int
+
+    @property
+    def standard_error(self) -> float:
+        """``sqrt(p_hat (1 - p_hat) / n)`` -- the paper's accuracy bound."""
+        p = self.estimate
+        return math.sqrt(max(p * (1.0 - p), 0.0) / self.n_samples)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI, clipped to ``[0, 1]``."""
+        margin = z * self.standard_error
+        return (
+            max(0.0, self.estimate - margin),
+            min(1.0, self.estimate + margin),
+        )
+
+
+class MonteCarloSampler:
+    """Vectorised possible-world sampler for one chain.
+
+    Per-state cumulative transition rows are cached lazily so repeated
+    queries against the same chain reuse them.
+
+    Args:
+        chain: the Markov model.
+        seed: RNG seed (an explicit ``numpy.random.Generator`` may be
+            passed instead via ``rng``).
+        rng: optional generator overriding ``seed``.
+    """
+
+    def __init__(
+        self,
+        chain: MarkovChain,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.chain = chain
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self._cdf_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _row_cdf(self, state: int) -> Tuple[np.ndarray, np.ndarray]:
+        cached = self._cdf_cache.get(state)
+        if cached is not None:
+            return cached
+        matrix = self.chain.matrix
+        lo, hi = matrix.indptr[state], matrix.indptr[state + 1]
+        targets = matrix.indices[lo:hi].copy()
+        weights = matrix.data[lo:hi]
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]  # guard against float drift
+        entry = (targets, cdf)
+        self._cdf_cache[state] = entry
+        return entry
+
+    def sample_paths(
+        self, initial: StateDistribution, horizon: int, n_samples: int
+    ) -> np.ndarray:
+        """Sample ``n_samples`` paths of length ``horizon + 1``.
+
+        Returns:
+            An integer array of shape ``(n_samples, horizon + 1)``; row
+            ``i`` is one possible world.
+        """
+        if n_samples <= 0:
+            raise ValidationError(
+                f"n_samples must be positive, got {n_samples}"
+            )
+        if horizon < 0:
+            raise ValidationError(
+                f"horizon must be non-negative, got {horizon}"
+            )
+        if initial.n_states != self.chain.n_states:
+            raise ValidationError(
+                f"initial distribution over {initial.n_states} states, "
+                f"chain over {self.chain.n_states}"
+            )
+        paths = np.empty((n_samples, horizon + 1), dtype=np.int64)
+        paths[:, 0] = self.rng.choice(
+            initial.n_states, size=n_samples, p=initial.vector
+        )
+        for step in range(1, horizon + 1):
+            current = paths[:, step - 1]
+            nxt = np.empty(n_samples, dtype=np.int64)
+            for state in np.unique(current):
+                mask = current == state
+                targets, cdf = self._row_cdf(int(state))
+                draws = self.rng.random(int(mask.sum()))
+                nxt[mask] = targets[np.searchsorted(cdf, draws)]
+            paths[:, step] = nxt
+        return paths
+
+    # ------------------------------------------------------------------
+    # query estimators
+    # ------------------------------------------------------------------
+    def _hit_counts(
+        self,
+        paths: np.ndarray,
+        window: SpatioTemporalWindow,
+        start_time: int,
+    ) -> np.ndarray:
+        region = np.zeros(self.chain.n_states, dtype=bool)
+        region[list(window.region)] = True
+        counts = np.zeros(paths.shape[0], dtype=np.int64)
+        for time in window.times:
+            counts += region[paths[:, time - start_time]]
+        return counts
+
+    def exists_probability(
+        self,
+        initial: StateDistribution,
+        window: SpatioTemporalWindow,
+        n_samples: int,
+        start_time: int = 0,
+    ) -> MonteCarloResult:
+        """Estimate the PST-exists probability from sampled paths."""
+        self._check_window(window, start_time)
+        paths = self.sample_paths(
+            initial, window.t_end - start_time, n_samples
+        )
+        counts = self._hit_counts(paths, window, start_time)
+        return MonteCarloResult(float((counts > 0).mean()), n_samples)
+
+    def forall_probability(
+        self,
+        initial: StateDistribution,
+        window: SpatioTemporalWindow,
+        n_samples: int,
+        start_time: int = 0,
+    ) -> MonteCarloResult:
+        """Estimate the PST-for-all probability from sampled paths."""
+        self._check_window(window, start_time)
+        paths = self.sample_paths(
+            initial, window.t_end - start_time, n_samples
+        )
+        counts = self._hit_counts(paths, window, start_time)
+        return MonteCarloResult(
+            float((counts == window.duration).mean()), n_samples
+        )
+
+    def ktimes_distribution(
+        self,
+        initial: StateDistribution,
+        window: SpatioTemporalWindow,
+        n_samples: int,
+        start_time: int = 0,
+    ) -> np.ndarray:
+        """Estimate the full visit-count distribution from sampled paths."""
+        self._check_window(window, start_time)
+        paths = self.sample_paths(
+            initial, window.t_end - start_time, n_samples
+        )
+        counts = self._hit_counts(paths, window, start_time)
+        return (
+            np.bincount(counts, minlength=window.duration + 1).astype(float)
+            / n_samples
+        )
+
+    def exists_probability_multi(
+        self,
+        observations: ObservationSet,
+        window: SpatioTemporalWindow,
+        n_samples: int,
+    ) -> MonteCarloResult:
+        """Importance-weighted estimate under multiple observations.
+
+        Paths are sampled from the first observation; each path is
+        weighted by the likelihood of the later observations at the path's
+        states (self-normalised importance sampling of Equation 1).
+        """
+        first = observations.first
+        self._check_window(window, first.time)
+        final_time = max(window.t_end, observations.last.time)
+        paths = self.sample_paths(
+            first.distribution, final_time - first.time, n_samples
+        )
+        weights = np.ones(n_samples, dtype=float)
+        for observation in observations.after(first.time):
+            column = paths[:, observation.time - first.time]
+            weights *= observation.distribution.vector[column]
+        total = float(weights.sum())
+        if total <= 0.0:
+            raise InfeasibleEvidenceError(
+                "all sampled paths are inconsistent with the observations; "
+                "increase n_samples or check the observations"
+            )
+        region = np.zeros(self.chain.n_states, dtype=bool)
+        region[list(window.region)] = True
+        hit = np.zeros(n_samples, dtype=bool)
+        for time in window.times:
+            hit |= region[paths[:, time - first.time]]
+        # with self-normalised importance weights the Bernoulli error
+        # bound applies to Kish's effective sample size, not n_samples
+        effective = int(max(1, round(total**2 / float((weights**2).sum()))))
+        return MonteCarloResult(
+            float((weights * hit).sum() / total), effective
+        )
+
+    def _check_window(
+        self, window: SpatioTemporalWindow, start_time: int
+    ) -> None:
+        window.validate_for(self.chain.n_states)
+        if window.t_start < start_time:
+            raise QueryError(
+                f"query time {window.t_start} precedes the observation "
+                f"at t={start_time}"
+            )
+
+
+def mc_exists_probability(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    n_samples: int = 100,
+    seed: Optional[int] = None,
+    start_time: int = 0,
+) -> MonteCarloResult:
+    """One-shot MC PST-exists estimate (paper default: 100 samples)."""
+    sampler = MonteCarloSampler(chain, seed=seed)
+    return sampler.exists_probability(
+        initial, window, n_samples, start_time
+    )
+
+
+def mc_forall_probability(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    n_samples: int = 100,
+    seed: Optional[int] = None,
+    start_time: int = 0,
+) -> MonteCarloResult:
+    """One-shot MC PST-for-all estimate."""
+    sampler = MonteCarloSampler(chain, seed=seed)
+    return sampler.forall_probability(
+        initial, window, n_samples, start_time
+    )
+
+
+def mc_ktimes_distribution(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    n_samples: int = 100,
+    seed: Optional[int] = None,
+    start_time: int = 0,
+) -> np.ndarray:
+    """One-shot MC visit-count distribution estimate."""
+    sampler = MonteCarloSampler(chain, seed=seed)
+    return sampler.ktimes_distribution(
+        initial, window, n_samples, start_time
+    )

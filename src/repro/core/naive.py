@@ -1,0 +1,112 @@
+"""The temporal-independence model -- the paper's *incorrect* competitor.
+
+Prior work (Section II; Figure 1(b)) treats the object's location at each
+timestamp as an independent random variable.  Under that assumption the
+PST-exists probability factorises over time::
+
+    P_naive_exists = 1 - prod_{t in T_q} (1 - P(o(t) in S_q))
+
+which systematically *over-estimates* the true probability, with the bias
+growing in the window length -- the effect Figure 9(d) quantifies.  The
+marginals themselves are still computed from the Markov chain (they are
+correct individually); only the combination ignores the correlation.
+
+Also provided: the naive for-all probability (product of the marginals)
+and the naive visit-count distribution (a Poisson-binomial over the
+independent per-timestamp indicators).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import QueryError, ValidationError
+from repro.core.markov import MarkovChain
+from repro.core.query import SpatioTemporalWindow
+
+__all__ = [
+    "naive_exists_probability",
+    "naive_forall_probability",
+    "naive_ktimes_distribution",
+    "region_marginals",
+]
+
+
+def region_marginals(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    start_time: int = 0,
+) -> np.ndarray:
+    """``P(o(t) in S_q)`` for each query time ``t`` (ascending).
+
+    These snapshot probabilities are exact; the naive model errs only in
+    combining them as if independent.
+    """
+    if initial.n_states != chain.n_states:
+        raise ValidationError(
+            f"initial distribution over {initial.n_states} states, "
+            f"chain over {chain.n_states}"
+        )
+    window.validate_for(chain.n_states)
+    if window.t_start < start_time:
+        raise QueryError(
+            f"query time {window.t_start} precedes the observation at "
+            f"t={start_time}"
+        )
+    region = np.zeros(chain.n_states, dtype=float)
+    region[list(window.region)] = 1.0
+    ordered_times = sorted(window.times)
+    marginals = []
+    vector = np.asarray(initial.vector, dtype=float)
+    current_time = start_time
+    for query_time in ordered_times:
+        for _ in range(query_time - current_time):
+            vector = np.asarray(vector @ chain.matrix, dtype=float)
+        current_time = query_time
+        marginals.append(float(vector @ region))
+    return np.asarray(marginals, dtype=float)
+
+
+def naive_exists_probability(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    start_time: int = 0,
+) -> float:
+    """PST-exists under the (wrong) temporal-independence assumption."""
+    marginals = region_marginals(chain, initial, window, start_time)
+    return float(1.0 - np.prod(1.0 - marginals))
+
+
+def naive_forall_probability(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    start_time: int = 0,
+) -> float:
+    """PST-for-all under the temporal-independence assumption."""
+    marginals = region_marginals(chain, initial, window, start_time)
+    return float(np.prod(marginals))
+
+
+def naive_ktimes_distribution(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    window: SpatioTemporalWindow,
+    start_time: int = 0,
+) -> np.ndarray:
+    """Visit-count distribution under temporal independence.
+
+    With independent per-timestamp hit indicators the count follows a
+    Poisson-binomial distribution, computed by the standard O(|T_q|^2)
+    dynamic program.
+    """
+    marginals = region_marginals(chain, initial, window, start_time)
+    distribution = np.zeros(len(marginals) + 1, dtype=float)
+    distribution[0] = 1.0
+    for p in marginals:
+        distribution[1:] = distribution[1:] * (1.0 - p) + distribution[:-1] * p
+        distribution[0] *= 1.0 - p
+    return distribution

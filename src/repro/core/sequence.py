@@ -1,0 +1,320 @@
+"""Regular-expression queries over uncertain trajectories.
+
+Section II of the paper discusses Lahar, whose "query language ... allows
+to formulate queries by stating regular expressions on an alphabet of
+states, and returns the probability of observing a sequence of states
+satisfying this regular expression" -- and notes that such regexes cannot
+express the paper's *window* queries (no position-anchored constraints).
+
+This module implements that query class so both families coexist in one
+library: a small pattern combinator language over *state predicates*,
+compiled through NFA -> DFA (subset construction), evaluated by pushing
+the joint ``(chain state, DFA state)`` distribution forward -- the
+product-chain analogue of the paper's matrix iteration.
+
+Pattern combinators (:class:`Pattern` constructors):
+
+* ``Pattern.states(region)`` -- one timestamp inside ``region``;
+* ``Pattern.any()`` -- one timestamp anywhere;
+* ``p.then(q)`` -- concatenation;
+* ``p.alt(q)`` -- alternation;
+* ``p.star()`` / ``p.plus()`` -- Kleene star / plus;
+* ``p.repeat(k)`` -- exactly ``k`` copies.
+
+The evaluation answers: *what is the probability that the trajectory
+``o(t0), ..., o(t0 + L)`` spells a word in the pattern's language?*
+(whole-sequence match, as in Lahar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import QueryError, ValidationError
+from repro.core.markov import MarkovChain
+
+__all__ = ["Pattern", "sequence_probability"]
+
+
+# ----------------------------------------------------------------------
+# pattern AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Pattern:
+    """A regular pattern over state predicates (immutable AST node).
+
+    Build with the factory methods; combine with :meth:`then`,
+    :meth:`alt`, :meth:`star`, :meth:`plus`, :meth:`repeat`.
+    """
+
+    kind: str
+    region: Optional[FrozenSet[int]] = None
+    children: Tuple["Pattern", ...] = ()
+
+    # -------------------------- constructors --------------------------
+    @staticmethod
+    def states(region: Iterable[int]) -> "Pattern":
+        """Match one timestamp with the object inside ``region``."""
+        frozen = frozenset(int(s) for s in region)
+        if not frozen:
+            raise QueryError("pattern region is empty")
+        return Pattern("atom", region=frozen)
+
+    @staticmethod
+    def state(state: int) -> "Pattern":
+        """Match one timestamp at exactly ``state``."""
+        return Pattern.states({state})
+
+    @staticmethod
+    def any() -> "Pattern":
+        """Match one timestamp anywhere (wildcard)."""
+        return Pattern("any")
+
+    @staticmethod
+    def epsilon() -> "Pattern":
+        """Match the empty sequence."""
+        return Pattern("epsilon")
+
+    # -------------------------- combinators ---------------------------
+    def then(self, other: "Pattern") -> "Pattern":
+        """Concatenation: ``self`` followed by ``other``."""
+        return Pattern("concat", children=(self, other))
+
+    def alt(self, other: "Pattern") -> "Pattern":
+        """Alternation: ``self`` or ``other``."""
+        return Pattern("union", children=(self, other))
+
+    def star(self) -> "Pattern":
+        """Zero or more repetitions."""
+        return Pattern("star", children=(self,))
+
+    def plus(self) -> "Pattern":
+        """One or more repetitions."""
+        return self.then(self.star())
+
+    def repeat(self, count: int) -> "Pattern":
+        """Exactly ``count`` repetitions."""
+        if count < 0:
+            raise QueryError(f"repeat count must be >= 0, got {count}")
+        result = Pattern.epsilon()
+        for _ in range(count):
+            result = result.then(self)
+        return result
+
+    # ------------------------------------------------------------------
+    # NFA construction (Thompson)
+    # ------------------------------------------------------------------
+    def _to_nfa(
+        self, n_states: int
+    ) -> Tuple[int, int, List[Dict[object, List[int]]]]:
+        """Thompson construction.
+
+        Returns ``(start, accept, transitions)`` where transitions is a
+        list of dicts: key None is epsilon, any other key is a frozenset
+        of chain states (the predicate).
+        """
+        transitions: List[Dict[object, List[int]]] = []
+
+        def new_node() -> int:
+            transitions.append({})
+            return len(transitions) - 1
+
+        def add(source: int, symbol, target: int) -> None:
+            transitions[source].setdefault(symbol, []).append(target)
+
+        def build(pattern: "Pattern") -> Tuple[int, int]:
+            if pattern.kind == "epsilon":
+                node = new_node()
+                return node, node
+            if pattern.kind == "atom":
+                region = pattern.region
+                if max(region) >= n_states:
+                    raise QueryError(
+                        f"pattern state {max(region)} outside "
+                        f"[0, {n_states})"
+                    )
+                start, accept = new_node(), new_node()
+                add(start, region, accept)
+                return start, accept
+            if pattern.kind == "any":
+                start, accept = new_node(), new_node()
+                add(start, frozenset(range(n_states)), accept)
+                return start, accept
+            if pattern.kind == "concat":
+                first_start, first_accept = build(pattern.children[0])
+                second_start, second_accept = build(pattern.children[1])
+                add(first_accept, None, second_start)
+                return first_start, second_accept
+            if pattern.kind == "union":
+                start, accept = new_node(), new_node()
+                for child in pattern.children:
+                    child_start, child_accept = build(child)
+                    add(start, None, child_start)
+                    add(child_accept, None, accept)
+                return start, accept
+            if pattern.kind == "star":
+                start, accept = new_node(), new_node()
+                child_start, child_accept = build(pattern.children[0])
+                add(start, None, child_start)
+                add(start, None, accept)
+                add(child_accept, None, child_start)
+                add(child_accept, None, accept)
+                return start, accept
+            raise ValidationError(f"unknown pattern kind {pattern.kind!r}")
+
+        start, accept = build(self)
+        return start, accept, transitions
+
+    def compile(self, n_states: int) -> "CompiledPattern":
+        """Compile to a DFA over the chain's state alphabet."""
+        return CompiledPattern(self, n_states)
+
+    def matches(self, states: Iterable[int], n_states: int) -> bool:
+        """Whether a concrete state sequence spells a word (whole match)."""
+        return self.compile(n_states).matches(states)
+
+
+class CompiledPattern:
+    """A pattern compiled to a DFA whose alphabet is the chain state.
+
+    Subset construction over the Thompson NFA; the DFA transition for a
+    chain state ``s`` from a DFA node is precomputed lazily and cached,
+    so evaluation cost is ``O(L . |S| . reached DFA nodes)``.
+    """
+
+    def __init__(self, pattern: Pattern, n_states: int) -> None:
+        if n_states < 1:
+            raise ValidationError(
+                f"n_states must be positive, got {n_states}"
+            )
+        self.pattern = pattern
+        self.n_states = n_states
+        start, accept, transitions = pattern._to_nfa(n_states)
+        self._nfa_accept = accept
+        self._nfa = transitions
+        self._start_set = self._epsilon_closure({start})
+        self._dfa_nodes: Dict[FrozenSet[int], int] = {}
+        self._dfa_accepting: List[bool] = []
+        self._dfa_step: List[List[Optional[int]]] = []
+        self._node_sets: List[FrozenSet[int]] = []
+        self.start_node = self._intern(self._start_set)
+
+    def _epsilon_closure(self, nodes: Set[int]) -> FrozenSet[int]:
+        stack = list(nodes)
+        seen = set(nodes)
+        while stack:
+            node = stack.pop()
+            for target in self._nfa[node].get(None, []):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def _intern(self, node_set: FrozenSet[int]) -> int:
+        existing = self._dfa_nodes.get(node_set)
+        if existing is not None:
+            return existing
+        index = len(self._dfa_nodes)
+        self._dfa_nodes[node_set] = index
+        self._node_sets.append(node_set)
+        self._dfa_accepting.append(self._nfa_accept in node_set)
+        self._dfa_step.append([None] * self.n_states)
+        return index
+
+    def step(self, node: int, chain_state: int) -> int:
+        """DFA transition on reading ``chain_state`` (lazily built)."""
+        cached = self._dfa_step[node][chain_state]
+        if cached is not None:
+            return cached
+        targets: Set[int] = set()
+        for nfa_node in self._node_sets[node]:
+            for symbol, successors in self._nfa[nfa_node].items():
+                if symbol is None:
+                    continue
+                if chain_state in symbol:
+                    targets.update(successors)
+        result = self._intern(self._epsilon_closure(targets))
+        self._dfa_step[node][chain_state] = result
+        return result
+
+    def is_accepting(self, node: int) -> bool:
+        """Whether a DFA node accepts."""
+        return self._dfa_accepting[node]
+
+    def matches(self, states: Iterable[int]) -> bool:
+        """Run the DFA over a concrete state sequence."""
+        node = self.start_node
+        for state in states:
+            if not (0 <= int(state) < self.n_states):
+                raise ValidationError(
+                    f"state {state} outside [0, {self.n_states})"
+                )
+            node = self.step(node, int(state))
+        return self.is_accepting(node)
+
+
+def sequence_probability(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    pattern: Pattern,
+    length: int,
+) -> float:
+    """Probability that ``o(0..length)`` spells a word of ``pattern``.
+
+    Pushes the joint distribution over ``(chain state, DFA node)``
+    forward ``length`` steps (the sequence has ``length + 1`` symbols,
+    the first being the initial state) and sums the accepting mass.
+
+    Args:
+        chain: the trajectory model.
+        initial: the distribution at the first timestamp.
+        pattern: the regular pattern; whole-sequence match semantics.
+        length: number of transitions (sequence length minus one).
+
+    Returns:
+        The exact match probability under possible-worlds semantics.
+    """
+    if initial.n_states != chain.n_states:
+        raise ValidationError(
+            f"initial distribution over {initial.n_states} states, "
+            f"chain over {chain.n_states}"
+        )
+    if length < 0:
+        raise QueryError(f"length must be non-negative, got {length}")
+    compiled = pattern.compile(chain.n_states)
+
+    # joint[(dfa_node)] = vector over chain states
+    joint: Dict[int, np.ndarray] = {}
+    for state, probability in initial.items():
+        node = compiled.step(compiled.start_node, state)
+        vector = joint.setdefault(
+            node, np.zeros(chain.n_states, dtype=float)
+        )
+        vector[state] += probability
+
+    matrix = chain.matrix
+    for _ in range(length):
+        next_joint: Dict[int, np.ndarray] = {}
+        for node, vector in joint.items():
+            pushed = np.asarray(vector @ matrix, dtype=float)
+            for state in np.nonzero(pushed > 0.0)[0]:
+                target = compiled.step(node, int(state))
+                bucket = next_joint.setdefault(
+                    target, np.zeros(chain.n_states, dtype=float)
+                )
+                bucket[state] += pushed[state]
+        joint = next_joint
+
+    accepted = float(
+        sum(
+            vector.sum()
+            for node, vector in joint.items()
+            if compiled.is_accepting(node)
+        )
+    )
+    # float drift across many vecmat rounds can push the sum past 1
+    return min(1.0, max(0.0, accepted))

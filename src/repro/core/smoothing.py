@@ -1,0 +1,211 @@
+"""Trajectory smoothing: posteriors and MAP decoding between sightings.
+
+Section VI of the paper conditions the trajectory model on multiple
+observations to answer window queries.  The same machinery supports two
+further questions a tracking application asks, implemented here with the
+standard forward-backward and Viterbi recursions over the chain:
+
+* :func:`posterior_marginals` -- for every timestamp between the first
+  and last observation, the distribution of the object's location given
+  *all* observations (the per-time generalisation of the paper's
+  Lemma 1 fusion);
+* :func:`map_trajectory` -- the single most probable possible world
+  given the observations (Viterbi decoding), with its posterior
+  probability.
+
+Both are verified against exhaustive possible-world enumeration in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import InfeasibleEvidenceError, ValidationError
+from repro.core.markov import MarkovChain
+from repro.core.observation import ObservationSet
+from repro.core.trajectory import Trajectory
+
+__all__ = ["posterior_marginals", "map_trajectory"]
+
+
+def _observation_factors(
+    chain: MarkovChain, observations: ObservationSet, horizon: int
+) -> List[np.ndarray]:
+    """Per-time likelihood factors: observation pdfs or all-ones."""
+    if observations.n_states != chain.n_states:
+        raise ValidationError(
+            f"observations over {observations.n_states} states, "
+            f"chain over {chain.n_states}"
+        )
+    factors = [np.ones(chain.n_states) for _ in range(horizon + 1)]
+    start = observations.first.time
+    for observation in observations:
+        offset = observation.time - start
+        if offset > horizon:
+            raise ValidationError(
+                f"observation at t={observation.time} beyond horizon "
+                f"{start + horizon}"
+            )
+        factors[offset] = np.asarray(
+            observation.distribution.vector, dtype=float
+        )
+    return factors
+
+
+def posterior_marginals(
+    chain: MarkovChain,
+    observations: ObservationSet,
+    horizon: int = -1,
+) -> List[StateDistribution]:
+    """Posterior location distributions given all observations.
+
+    Standard forward-backward smoothing: ``alpha[t]`` carries the
+    evidence up to ``t``, ``beta[t]`` the evidence after ``t``; the
+    marginal at ``t`` is the normalised product.
+
+    Args:
+        chain: the trajectory model.
+        observations: at least one observation; the first anchors time 0
+            of the returned list.
+        horizon: last offset (relative to the first observation) to
+            smooth; defaults to the last observation's offset.
+
+    Returns:
+        One distribution per offset ``0 .. horizon``.
+
+    Raises:
+        InfeasibleEvidenceError: when the observations are inconsistent
+            with the chain.
+    """
+    start = observations.first.time
+    if horizon < 0:
+        horizon = observations.last.time - start
+    factors = _observation_factors(chain, observations, horizon)
+    matrix = chain.matrix
+
+    alphas: List[np.ndarray] = []
+    alpha = factors[0].copy()
+    total = float(alpha.sum())
+    if total <= 0.0:
+        raise InfeasibleEvidenceError(
+            "the first observation has zero mass"
+        )
+    alpha /= total
+    alphas.append(alpha)
+    for offset in range(1, horizon + 1):
+        alpha = np.asarray(alpha @ matrix, dtype=float) * factors[offset]
+        total = float(alpha.sum())
+        if total <= 0.0:
+            raise InfeasibleEvidenceError(
+                f"observations are contradictory at offset {offset} "
+                f"(t={start + offset})"
+            )
+        alpha = alpha / total
+        alphas.append(alpha)
+
+    betas: List[np.ndarray] = [np.ones(chain.n_states)] * (horizon + 1)
+    beta = np.ones(chain.n_states)
+    for offset in range(horizon - 1, -1, -1):
+        # beta[i] = sum_j M[i, j] * factor[t+1][j] * beta[t+1][j]
+        beta = np.asarray(
+            matrix @ (beta * factors[offset + 1]), dtype=float
+        )
+        peak = float(beta.max())
+        if peak <= 0.0:
+            raise InfeasibleEvidenceError(
+                f"no trajectory is consistent with the observations "
+                f"after offset {offset}"
+            )
+        beta = beta / peak  # rescale for numerical stability
+        betas[offset] = beta
+
+    marginals: List[StateDistribution] = []
+    for alpha, beta in zip(alphas, betas):
+        product = alpha * beta
+        total = float(product.sum())
+        if total <= 0.0:
+            raise InfeasibleEvidenceError(
+                "zero posterior mass during smoothing"
+            )
+        marginals.append(StateDistribution(product / total))
+    return marginals
+
+
+def map_trajectory(
+    chain: MarkovChain,
+    observations: ObservationSet,
+    horizon: int = -1,
+) -> Tuple[Trajectory, float]:
+    """The most probable possible world given the observations (Viterbi).
+
+    Args:
+        chain: the trajectory model.
+        observations: the evidence; the first observation anchors time 0
+            of the returned trajectory.
+        horizon: last offset to decode; defaults to the last
+            observation's offset.
+
+    Returns:
+        ``(trajectory, posterior_probability)`` -- the argmax possible
+        world and its probability *given* the observations (i.e.
+        normalised by the total evidence likelihood).
+
+    Raises:
+        InfeasibleEvidenceError: when no trajectory is consistent.
+    """
+    start = observations.first.time
+    if horizon < 0:
+        horizon = observations.last.time - start
+    factors = _observation_factors(chain, observations, horizon)
+    n = chain.n_states
+    matrix = chain.matrix
+
+    # log-domain Viterbi; -inf marks impossibility
+    coo = matrix.tocoo()
+    with np.errstate(divide="ignore"):
+        delta = np.log(factors[0])
+        log_data = np.log(coo.data)
+    sources, targets = coo.row, coo.col
+
+    backpointers: List[np.ndarray] = []
+    for offset in range(1, horizon + 1):
+        candidate = np.full(n, -np.inf)
+        argmax = np.full(n, -1, dtype=np.int64)
+        scores = delta[sources] + log_data
+        for index in np.argsort(scores):  # ascending; later wins
+            candidate[targets[index]] = scores[index]
+            argmax[targets[index]] = sources[index]
+        with np.errstate(divide="ignore"):
+            candidate = candidate + np.log(factors[offset])
+        candidate[np.isnan(candidate)] = -np.inf
+        backpointers.append(argmax)
+        delta = candidate
+
+    best_final = int(np.argmax(delta))
+    if not np.isfinite(delta[best_final]):
+        raise InfeasibleEvidenceError(
+            "no trajectory is consistent with the observations"
+        )
+    states = [best_final]
+    for argmax in reversed(backpointers):
+        states.append(int(argmax[states[-1]]))
+    states.reverse()
+    trajectory = Trajectory(tuple(states))
+
+    # posterior probability: path weight / total evidence likelihood
+    path_weight = float(np.exp(delta[best_final]))
+    evidence = factors[0].copy()
+    for offset in range(1, horizon + 1):
+        evidence = np.asarray(
+            evidence @ matrix, dtype=float
+        ) * factors[offset]
+    total = float(evidence.sum())
+    if total <= 0.0:
+        raise InfeasibleEvidenceError(
+            "observations are contradictory with the chain"
+        )
+    return trajectory, path_weight / total

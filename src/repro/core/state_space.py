@@ -1,0 +1,320 @@
+"""Discrete state spaces.
+
+The paper assumes a finite set of possible locations ``S = {s_1 ... s_|S|}``
+(Section III).  States are identified by integer indices ``0 .. n-1``
+throughout this library; a *state space* gives those indices geometric
+meaning and translates geometric query regions into index sets.
+
+Three concrete spaces cover the paper's scenarios:
+
+* :class:`LineStateSpace` -- states on a 1-D integer line.  This is the
+  synthetic setting of Section VIII (states ``[100, 120]`` etc.).
+* :class:`GridStateSpace` -- a 2-D raster as in Figure 2 and the iceberg
+  application.
+* :class:`GraphStateSpace` -- nodes of a road network (the Munich / North
+  America datasets of Section VIII-A).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import StateSpaceError
+
+__all__ = [
+    "StateSpace",
+    "LineStateSpace",
+    "GridStateSpace",
+    "GraphStateSpace",
+]
+
+
+class StateSpace(ABC):
+    """Abstract finite state space.
+
+    Subclasses fix the number of states and provide geometry-aware helpers
+    to build query regions (sets of state indices).
+    """
+
+    def __init__(self, n_states: int) -> None:
+        if n_states <= 0:
+            raise StateSpaceError(f"state space must be non-empty, got {n_states}")
+        self._n_states = int(n_states)
+
+    @property
+    def n_states(self) -> int:
+        """Number of states ``|S|``."""
+        return self._n_states
+
+    def __len__(self) -> int:
+        return self._n_states
+
+    def check_state(self, state: int) -> int:
+        """Validate a state index and return it."""
+        if not (0 <= state < self._n_states):
+            raise StateSpaceError(
+                f"state {state} out of range [0, {self._n_states})"
+            )
+        return int(state)
+
+    def check_region(self, region: Iterable[int]) -> FrozenSet[int]:
+        """Validate a set of state indices and return it frozen."""
+        frozen = frozenset(int(s) for s in region)
+        for state in frozen:
+            self.check_state(state)
+        return frozen
+
+    def complement(self, region: Iterable[int]) -> FrozenSet[int]:
+        """Return ``S \\ region`` (used by the PST-for-all reduction)."""
+        inside = self.check_region(region)
+        return frozenset(range(self._n_states)) - inside
+
+    @abstractmethod
+    def location_of(self, state: int) -> Tuple[float, ...]:
+        """Coordinates of a state in ``R^d``."""
+
+    def all_states(self) -> range:
+        """Iterator over all state indices."""
+        return range(self._n_states)
+
+
+class LineStateSpace(StateSpace):
+    """States ``0 .. n-1`` placed at integer positions on a line.
+
+    The synthetic experiments of the paper use this layout: an object in
+    state ``s_i`` can only transition to states within
+    ``[i - max_step/2, i + max_step/2]`` (Table I), and query regions are
+    index intervals such as ``[100, 120]``.
+    """
+
+    def location_of(self, state: int) -> Tuple[float]:
+        self.check_state(state)
+        return (float(state),)
+
+    def interval(self, low: int, high: int) -> FrozenSet[int]:
+        """States with index in the inclusive range ``[low, high]``.
+
+        The range is clipped to the state space, matching how the paper's
+        generator treats boundary states.
+        """
+        if low > high:
+            raise StateSpaceError(f"empty interval [{low}, {high}]")
+        low = max(0, int(low))
+        high = min(self._n_states - 1, int(high))
+        if low > high:
+            raise StateSpaceError(
+                f"interval [{low}, {high}] lies outside the state space"
+            )
+        return frozenset(range(low, high + 1))
+
+
+class GridStateSpace(StateSpace):
+    """A rectangular 2-D raster of ``width x height`` cells.
+
+    State index layout is row-major: state ``y * width + x`` is the cell in
+    column ``x``, row ``y``.  Cell centres are the geometric locations.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        cell_size: float = 1.0,
+        origin: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise StateSpaceError(
+                f"grid dimensions must be positive, got {width}x{height}"
+            )
+        if cell_size <= 0:
+            raise StateSpaceError(f"cell_size must be positive, got {cell_size}")
+        super().__init__(width * height)
+        self.width = int(width)
+        self.height = int(height)
+        self.cell_size = float(cell_size)
+        self.origin = (float(origin[0]), float(origin[1]))
+
+    # ------------------------------------------------------------------
+    # index <-> cell <-> point conversions
+    # ------------------------------------------------------------------
+    def state_of_cell(self, x: int, y: int) -> int:
+        """State index of the cell in column ``x``, row ``y``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise StateSpaceError(
+                f"cell ({x}, {y}) outside grid {self.width}x{self.height}"
+            )
+        return y * self.width + x
+
+    def cell_of_state(self, state: int) -> Tuple[int, int]:
+        """``(x, y)`` cell of a state index."""
+        self.check_state(state)
+        return state % self.width, state // self.width
+
+    def state_of_point(self, px: float, py: float) -> int:
+        """State whose cell contains the continuous point ``(px, py)``."""
+        x = int(math.floor((px - self.origin[0]) / self.cell_size))
+        y = int(math.floor((py - self.origin[1]) / self.cell_size))
+        return self.state_of_cell(x, y)
+
+    def location_of(self, state: int) -> Tuple[float, float]:
+        x, y = self.cell_of_state(state)
+        return (
+            self.origin[0] + (x + 0.5) * self.cell_size,
+            self.origin[1] + (y + 0.5) * self.cell_size,
+        )
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+    def box(self, x_min: int, y_min: int, x_max: int, y_max: int) -> FrozenSet[int]:
+        """All states whose cell lies in the inclusive cell-index box."""
+        if x_min > x_max or y_min > y_max:
+            raise StateSpaceError(
+                f"empty box ({x_min}, {y_min}) .. ({x_max}, {y_max})"
+            )
+        x_min = max(0, x_min)
+        y_min = max(0, y_min)
+        x_max = min(self.width - 1, x_max)
+        y_max = min(self.height - 1, y_max)
+        if x_min > x_max or y_min > y_max:
+            raise StateSpaceError("box lies entirely outside the grid")
+        return frozenset(
+            y * self.width + x
+            for y in range(y_min, y_max + 1)
+            for x in range(x_min, x_max + 1)
+        )
+
+    def disk(self, cx: float, cy: float, radius: float) -> FrozenSet[int]:
+        """All states whose cell centre is within ``radius`` of ``(cx, cy)``."""
+        if radius < 0:
+            raise StateSpaceError(f"radius must be non-negative, got {radius}")
+        states = []
+        for state in self.all_states():
+            px, py = self.location_of(state)
+            if (px - cx) ** 2 + (py - cy) ** 2 <= radius**2:
+                states.append(state)
+        return frozenset(states)
+
+    def neighbors(self, state: int, diagonal: bool = True) -> List[int]:
+        """Grid-adjacent states (4- or 8-neighbourhood)."""
+        x, y = self.cell_of_state(state)
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        if diagonal:
+            offsets += [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+        result = []
+        for dx, dy in offsets:
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                result.append(self.state_of_cell(nx, ny))
+        return result
+
+
+class GraphStateSpace(StateSpace):
+    """States are the nodes of a (road) network.
+
+    The paper's real datasets treat "each node ... as a state and each edge
+    corresponds to two non-zero entries in the transition matrix".  Node
+    labels may be arbitrary hashables; they are mapped to dense indices in
+    the iteration order of ``nodes``.
+
+    Args:
+        nodes: sequence of node labels (order fixes state indices).
+        edges: iterable of ``(u, v)`` label pairs; interpreted as undirected
+            unless ``directed=True``.
+        positions: optional ``{label: (x, y)}`` for geometric regions.
+        directed: whether ``edges`` are one-way.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[object],
+        edges: Iterable[Tuple[object, object]],
+        positions: Optional[Dict[object, Tuple[float, float]]] = None,
+        directed: bool = False,
+    ) -> None:
+        node_list = list(nodes)
+        super().__init__(len(node_list))
+        self.nodes: List[object] = node_list
+        self._index: Dict[object, int] = {
+            label: i for i, label in enumerate(node_list)
+        }
+        if len(self._index) != len(node_list):
+            raise StateSpaceError("duplicate node labels")
+        self.positions = dict(positions) if positions else None
+        self.directed = bool(directed)
+        self._adjacency: List[List[int]] = [[] for _ in node_list]
+        seen = set()
+        for u, v in edges:
+            ui, vi = self.index_of(u), self.index_of(v)
+            for a, b in ((ui, vi),) if directed else ((ui, vi), (vi, ui)):
+                if (a, b) not in seen and a != b:
+                    seen.add((a, b))
+                    self._adjacency[a].append(b)
+        for out in self._adjacency:
+            out.sort()
+
+    def index_of(self, label: object) -> int:
+        """State index of a node label."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise StateSpaceError(f"unknown node label {label!r}") from None
+
+    def label_of(self, state: int) -> object:
+        """Node label of a state index."""
+        self.check_state(state)
+        return self.nodes[state]
+
+    def out_neighbors(self, state: int) -> List[int]:
+        """Successor states of a node (sorted)."""
+        self.check_state(state)
+        return list(self._adjacency[state])
+
+    def n_edges(self) -> int:
+        """Number of directed adjacency entries (paper counts both ways)."""
+        return sum(len(out) for out in self._adjacency)
+
+    def location_of(self, state: int) -> Tuple[float, float]:
+        if self.positions is None:
+            raise StateSpaceError(
+                "this graph state space has no node positions"
+            )
+        return tuple(self.positions[self.label_of(state)])  # type: ignore[return-value]
+
+    def region_labels(self, labels: Iterable[object]) -> FrozenSet[int]:
+        """Region from node labels."""
+        return frozenset(self.index_of(label) for label in labels)
+
+    def ball(self, center: object, hops: int) -> FrozenSet[int]:
+        """All states within ``hops`` graph hops of ``center`` (BFS)."""
+        if hops < 0:
+            raise StateSpaceError(f"hops must be non-negative, got {hops}")
+        start = self.index_of(center)
+        frontier = {start}
+        seen = {start}
+        for _ in range(hops):
+            nxt = set()
+            for state in frontier:
+                for succ in self._adjacency[state]:
+                    if succ not in seen:
+                        seen.add(succ)
+                        nxt.add(succ)
+            if not nxt:
+                break
+            frontier = nxt
+        return frozenset(seen)
+
+    def disk(self, cx: float, cy: float, radius: float) -> FrozenSet[int]:
+        """All states with a position within ``radius`` of ``(cx, cy)``."""
+        if self.positions is None:
+            raise StateSpaceError(
+                "this graph state space has no node positions"
+            )
+        result = []
+        for state in self.all_states():
+            px, py = self.location_of(state)
+            if (px - cx) ** 2 + (py - cy) ** 2 <= radius**2:
+                result.append(state)
+        return frozenset(result)

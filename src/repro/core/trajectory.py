@@ -1,0 +1,279 @@
+"""Trajectories and exact possible-world enumeration.
+
+A *certain* trajectory is a function ``o : T -> S`` (Section III).  An
+uncertain trajectory is the stochastic process induced by a Markov chain
+and an initial distribution (Definition 1); each realisation (a concrete
+path) is one *possible world* (Figure 3).
+
+Besides the :class:`Trajectory` value type, this module provides
+:class:`PossibleWorldEnumerator`, which exhaustively enumerates every
+possible world of a small chain together with its probability.  The
+enumeration is exponential (``O(|S|^T)``, exactly the blow-up the paper's
+matrix technique avoids) and exists purely as the *ground-truth oracle*
+for the test suite: every query processor is checked against it on small
+random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import ValidationError
+from repro.core.markov import MarkovChain
+from repro.core.query import SpatioTemporalWindow
+
+__all__ = [
+    "Trajectory",
+    "sample_trajectory",
+    "PossibleWorldEnumerator",
+]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A certain trajectory: the state of an object at ``t = 0, 1, ...``.
+
+    Attributes:
+        states: ``states[t]`` is the object's state at time ``t`` (the
+            trajectory starts at time zero).
+    """
+
+    states: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ValidationError("a trajectory needs at least one state")
+        object.__setattr__(
+            self, "states", tuple(int(s) for s in self.states)
+        )
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __getitem__(self, time: int) -> int:
+        return self.states[time]
+
+    def state_at(self, time: int) -> int:
+        """State occupied at ``time`` (must be within the horizon)."""
+        if not (0 <= time < len(self.states)):
+            raise ValidationError(
+                f"time {time} outside trajectory horizon "
+                f"[0, {len(self.states)})"
+            )
+        return self.states[time]
+
+    # ------------------------------------------------------------------
+    # query predicates on a single (certain) trajectory
+    # ------------------------------------------------------------------
+    def intersects(self, window: SpatioTemporalWindow) -> bool:
+        """Exists-semantics: inside the region at some query time."""
+        return any(
+            t < len(self.states) and self.states[t] in window.region
+            for t in window.times
+        )
+
+    def stays_within(self, window: SpatioTemporalWindow) -> bool:
+        """For-all semantics: inside the region at every query time."""
+        return all(
+            t < len(self.states) and self.states[t] in window.region
+            for t in window.times
+        )
+
+    def hit_count(self, window: SpatioTemporalWindow) -> int:
+        """Number of query timestamps spent inside the region."""
+        return sum(
+            1
+            for t in window.times
+            if t < len(self.states) and self.states[t] in window.region
+        )
+
+    def probability_under(
+        self, chain: MarkovChain, initial: StateDistribution
+    ) -> float:
+        """Probability of this exact path under (chain, initial)."""
+        probability = initial.probability(self.states[0])
+        for source, target in zip(self.states, self.states[1:]):
+            if probability == 0.0:
+                return 0.0
+            probability *= chain.transition_probability(source, target)
+        return probability
+
+
+def sample_trajectory(
+    chain: MarkovChain,
+    initial: StateDistribution,
+    horizon: int,
+    rng: np.random.Generator,
+) -> Trajectory:
+    """Draw one possible world of length ``horizon + 1``.
+
+    This is the paper's Monte-Carlo path sampler: draw a start state from
+    the object's distribution, then draw each successor from the current
+    state's transition row.
+    """
+    if horizon < 0:
+        raise ValidationError(f"horizon must be non-negative, got {horizon}")
+    matrix = chain.matrix
+    state = initial.sample(rng)
+    states = [state]
+    for _ in range(horizon):
+        lo, hi = matrix.indptr[state], matrix.indptr[state + 1]
+        targets = matrix.indices[lo:hi]
+        weights = matrix.data[lo:hi]
+        # guard against tiny float drift in the row sum
+        weights = weights / weights.sum()
+        state = int(rng.choice(targets, p=weights))
+        states.append(state)
+    return Trajectory(tuple(states))
+
+
+class PossibleWorldEnumerator:
+    """Exhaustive enumeration of possible worlds (test oracle only).
+
+    Args:
+        chain: the Markov model.
+        initial: the distribution at time zero.
+        horizon: the last timestamp to instantiate; every enumerated world
+            has ``horizon + 1`` states.
+
+    Raises:
+        ValidationError: when the enumeration would exceed ``max_worlds``
+            (a guard against accidental exponential blow-up in tests).
+    """
+
+    def __init__(
+        self,
+        chain: MarkovChain,
+        initial: StateDistribution,
+        horizon: int,
+        max_worlds: int = 2_000_000,
+    ) -> None:
+        if horizon < 0:
+            raise ValidationError(
+                f"horizon must be non-negative, got {horizon}"
+            )
+        self.chain = chain
+        self.initial = initial
+        self.horizon = horizon
+        self.max_worlds = max_worlds
+
+    def worlds(self) -> Iterator[Tuple[Trajectory, float]]:
+        """Yield every possible world with its probability (DFS order)."""
+        count = 0
+        stack: List[Tuple[List[int], float]] = []
+        for state, probability in self.initial.items():
+            stack.append(([state], probability))
+        while stack:
+            path, probability = stack.pop()
+            if len(path) == self.horizon + 1:
+                count += 1
+                if count > self.max_worlds:
+                    raise ValidationError(
+                        f"possible-world enumeration exceeded "
+                        f"{self.max_worlds} worlds"
+                    )
+                yield Trajectory(tuple(path)), probability
+                continue
+            state = path[-1]
+            for successor in self.chain.successors(state):
+                step = self.chain.transition_probability(state, successor)
+                if step > 0.0:
+                    stack.append((path + [successor], probability * step))
+
+    # ------------------------------------------------------------------
+    # exact query answers by brute force
+    # ------------------------------------------------------------------
+    def probability_that(
+        self, predicate: Callable[[Trajectory], bool]
+    ) -> float:
+        """Total probability of worlds satisfying ``predicate``."""
+        return sum(
+            probability
+            for trajectory, probability in self.worlds()
+            if predicate(trajectory)
+        )
+
+    def exists_probability(self, window: SpatioTemporalWindow) -> float:
+        """Ground-truth PST-exists probability."""
+        return self.probability_that(lambda w: w.intersects(window))
+
+    def forall_probability(self, window: SpatioTemporalWindow) -> float:
+        """Ground-truth PST-for-all probability."""
+        return self.probability_that(lambda w: w.stays_within(window))
+
+    def ktimes_distribution(
+        self, window: SpatioTemporalWindow
+    ) -> np.ndarray:
+        """Ground-truth distribution over hit counts ``k = 0 .. |T_q|``."""
+        counts = np.zeros(window.duration + 1, dtype=float)
+        for trajectory, probability in self.worlds():
+            counts[trajectory.hit_count(window)] += probability
+        return counts
+
+    def conditioned_on_observations(
+        self, observations: Sequence[Tuple[int, StateDistribution]]
+    ) -> "ConditionedEnumerator":
+        """Oracle for the multi-observation setting of Section VI.
+
+        Args:
+            observations: ``(time, distribution)`` pairs of *additional*
+                observations (the initial distribution is already the first
+                observation).  Worlds are re-weighted by the product of the
+                observation likelihoods at the observed states and
+                renormalised -- exactly Equation 1 of the paper.
+        """
+        return ConditionedEnumerator(self, list(observations))
+
+
+class ConditionedEnumerator:
+    """Possible worlds re-weighted by additional observations (oracle)."""
+
+    def __init__(
+        self,
+        base: PossibleWorldEnumerator,
+        observations: List[Tuple[int, StateDistribution]],
+    ) -> None:
+        for time, _ in observations:
+            if not (0 <= time <= base.horizon):
+                raise ValidationError(
+                    f"observation time {time} outside horizon "
+                    f"[0, {base.horizon}]"
+                )
+        self.base = base
+        self.observations = observations
+
+    def worlds(self) -> Iterator[Tuple[Trajectory, float]]:
+        """Yield possible worlds with *normalised posterior* weights."""
+        weighted: List[Tuple[Trajectory, float]] = []
+        total = 0.0
+        for trajectory, probability in self.base.worlds():
+            weight = probability
+            for time, distribution in self.observations:
+                weight *= distribution.probability(trajectory[time])
+            if weight > 0.0:
+                weighted.append((trajectory, weight))
+                total += weight
+        if total <= 0.0:
+            raise ValidationError(
+                "observations eliminated every possible world"
+            )
+        for trajectory, weight in weighted:
+            yield trajectory, weight / total
+
+    def probability_that(
+        self, predicate: Callable[[Trajectory], bool]
+    ) -> float:
+        """Posterior probability of worlds satisfying ``predicate``."""
+        return sum(
+            weight
+            for trajectory, weight in self.worlds()
+            if predicate(trajectory)
+        )
+
+    def exists_probability(self, window: SpatioTemporalWindow) -> float:
+        """Ground-truth multi-observation PST-exists probability."""
+        return self.probability_that(lambda w: w.intersects(window))

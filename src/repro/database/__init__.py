@@ -1,0 +1,25 @@
+"""Database layer: collections of uncertain objects and access methods.
+
+* :mod:`repro.database.objects` -- the :class:`UncertainObject` record.
+* :mod:`repro.database.uncertain_db` -- :class:`TrajectoryDatabase`, a
+  validated collection of objects over shared Markov chains.
+* :mod:`repro.database.rtree` -- an STR-packed R-tree used as the spatial
+  filter step.
+* :mod:`repro.database.pruning` -- reachability-based object pruning for
+  the object-based processor.
+* :mod:`repro.database.serialization` -- persistence of chains and
+  databases.
+"""
+
+from repro.database.objects import UncertainObject
+from repro.database.uncertain_db import TrajectoryDatabase
+from repro.database.rtree import Rect, RTree
+from repro.database.pruning import ReachabilityPruner
+
+__all__ = [
+    "UncertainObject",
+    "TrajectoryDatabase",
+    "Rect",
+    "RTree",
+    "ReachabilityPruner",
+]

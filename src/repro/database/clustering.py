@@ -1,0 +1,206 @@
+"""Chain clustering and cluster-level threshold-query pruning.
+
+Implements the Section V-C strategy for databases whose objects follow
+*different* Markov chains: similar chains are clustered greedily, each
+cluster is summarised by an :class:`~repro.core.intervals.IntervalMarkovChain`,
+and a probabilistic threshold query first evaluates cheap cluster-level
+bounds:
+
+* cluster upper bound below the threshold  -> reject all members,
+* cluster lower bound at/above the threshold -> accept all members,
+* otherwise refine member objects individually (exact QB/OB evaluation).
+
+"Only clusters which cannot be decided as a whole need their objects to
+be considered individually." -- Section V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import QueryError, ValidationError
+from repro.core.intervals import (
+    IntervalMarkovChain,
+    bound_exists_probability,
+)
+from repro.core.markov import MarkovChain
+from repro.core.object_based import ob_exists_probability
+from repro.core.query import SpatioTemporalWindow
+from repro.database.uncertain_db import TrajectoryDatabase
+
+__all__ = [
+    "ChainCluster",
+    "cluster_chains",
+    "ClusteredThresholdProcessor",
+    "ThresholdAnswer",
+]
+
+
+@dataclass
+class ChainCluster:
+    """A set of chain ids summarised by one interval chain.
+
+    Attributes:
+        chain_ids: member chain identifiers.
+        interval: the enclosing interval Markov chain.
+    """
+
+    chain_ids: List[str]
+    interval: IntervalMarkovChain
+
+
+def _chain_distance(a: MarkovChain, b: MarkovChain) -> float:
+    """Max-norm distance between two transition matrices."""
+    difference = (a.matrix - b.matrix).tocoo()
+    return float(np.abs(difference.data).max()) if difference.nnz else 0.0
+
+
+def cluster_chains(
+    chains: Dict[str, MarkovChain], radius: float = 0.2
+) -> List[ChainCluster]:
+    """Greedy leader clustering of chains by max-norm distance.
+
+    Each chain joins the first cluster whose leader is within ``radius``;
+    otherwise it starts a new cluster.  Deterministic given the (sorted)
+    id order.
+
+    Args:
+        chains: ``{chain_id: chain}`` over a common state count.
+        radius: max-norm joining threshold; 0 clusters only identical
+            chains.
+    """
+    if not chains:
+        raise ValidationError("need at least one chain to cluster")
+    if radius < 0:
+        raise ValidationError(f"radius must be non-negative, got {radius}")
+    leaders: List[Tuple[MarkovChain, List[str], List[MarkovChain]]] = []
+    for chain_id in sorted(chains):
+        chain = chains[chain_id]
+        for leader, ids, members in leaders:
+            if (
+                leader.n_states == chain.n_states
+                and _chain_distance(leader, chain) <= radius
+            ):
+                ids.append(chain_id)
+                members.append(chain)
+                break
+        else:
+            leaders.append((chain, [chain_id], [chain]))
+    return [
+        ChainCluster(ids, IntervalMarkovChain.from_chains(members))
+        for _, ids, members in leaders
+    ]
+
+
+@dataclass(frozen=True)
+class ThresholdAnswer:
+    """The outcome of a clustered threshold query.
+
+    Attributes:
+        accepted: object ids with ``P_exists >= threshold``.
+        probabilities: exact probabilities for objects that needed
+            refinement (accepted-by-bound objects are absent).
+        clusters_decided: clusters resolved by bounds alone.
+        clusters_refined: clusters whose members were evaluated exactly.
+    """
+
+    accepted: Tuple[str, ...]
+    probabilities: Dict[str, float]
+    clusters_decided: int
+    clusters_refined: int
+
+
+class ClusteredThresholdProcessor:
+    """Threshold PST-exists queries over per-class-chain databases.
+
+    Args:
+        database: a database whose objects may follow different chains.
+        radius: clustering radius forwarded to :func:`cluster_chains`.
+    """
+
+    def __init__(
+        self, database: TrajectoryDatabase, radius: float = 0.2
+    ) -> None:
+        self.database = database
+        chains = {
+            chain_id: database.chain(chain_id)
+            for chain_id in database.chain_ids
+        }
+        self.clusters = cluster_chains(chains, radius=radius)
+        self._cluster_of: Dict[str, ChainCluster] = {}
+        for cluster in self.clusters:
+            for chain_id in cluster.chain_ids:
+                self._cluster_of[chain_id] = cluster
+
+    def evaluate(
+        self,
+        window: SpatioTemporalWindow,
+        threshold: float,
+    ) -> ThresholdAnswer:
+        """Objects whose PST-exists probability reaches ``threshold``.
+
+        Cluster bounds decide whole clusters where possible; undecided
+        clusters fall back to exact per-object evaluation.
+        """
+        if not (0.0 < threshold <= 1.0):
+            raise QueryError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        window.validate_for(self.database.n_states)
+        accepted: List[str] = []
+        probabilities: Dict[str, float] = {}
+        decided = 0
+        refined = 0
+        groups = self.database.objects_by_chain()
+        for cluster in self.clusters:
+            members = [
+                obj
+                for chain_id in cluster.chain_ids
+                for obj in groups.get(chain_id, [])
+            ]
+            if not members:
+                continue
+            bounds = [
+                bound_exists_probability(
+                    cluster.interval,
+                    obj.initial.distribution,
+                    window,
+                    start_time=obj.initial.time,
+                )
+                for obj in members
+            ]
+            uppers = [b[1] for b in bounds]
+            lowers = [b[0] for b in bounds]
+            if max(uppers) < threshold:
+                decided += 1  # whole cluster rejected
+                continue
+            if min(lowers) >= threshold:
+                decided += 1  # whole cluster accepted
+                accepted.extend(obj.object_id for obj in members)
+                continue
+            refined += 1
+            for obj, (low, high) in zip(members, bounds):
+                if high < threshold:
+                    continue  # per-object bound still prunes
+                if low >= threshold:
+                    accepted.append(obj.object_id)
+                    continue
+                chain = self.database.chain(obj.chain_id)
+                probability = ob_exists_probability(
+                    chain,
+                    obj.initial.distribution,
+                    window,
+                    start_time=obj.initial.time,
+                )
+                probabilities[obj.object_id] = probability
+                if probability >= threshold:
+                    accepted.append(obj.object_id)
+        return ThresholdAnswer(
+            accepted=tuple(sorted(accepted)),
+            probabilities=probabilities,
+            clusters_decided=decided,
+            clusters_refined=refined,
+        )

@@ -1,0 +1,87 @@
+"""The uncertain-object record stored in a trajectory database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import ValidationError
+from repro.core.observation import Observation, ObservationSet
+
+__all__ = ["UncertainObject"]
+
+DEFAULT_CHAIN = "default"
+
+
+@dataclass(frozen=True)
+class UncertainObject:
+    """One uncertain spatio-temporal object.
+
+    Attributes:
+        object_id: unique identifier within a database.
+        observations: the object's (time-ordered) observations; the first
+            one anchors all query processing.
+        chain_id: the identifier of the Markov chain the object follows.
+            The paper's query-based approach assumes a shared model
+            ("all icebergs are subject to the same currents"); databases
+            with several object classes (buses, trucks, cars -- Section
+            V-C) register one chain per class and tag objects accordingly.
+    """
+
+    object_id: str
+    observations: ObservationSet
+    chain_id: str = DEFAULT_CHAIN
+
+    def __post_init__(self) -> None:
+        if not str(self.object_id):
+            raise ValidationError("object_id must be non-empty")
+
+    @classmethod
+    def at_state(
+        cls,
+        object_id: str,
+        n_states: int,
+        state: int,
+        time: int = 0,
+        chain_id: str = DEFAULT_CHAIN,
+    ) -> "UncertainObject":
+        """An object precisely observed at one state."""
+        return cls(
+            object_id=str(object_id),
+            observations=ObservationSet.single(
+                Observation.precise(time, n_states, state)
+            ),
+            chain_id=chain_id,
+        )
+
+    @classmethod
+    def with_distribution(
+        cls,
+        object_id: str,
+        distribution: StateDistribution,
+        time: int = 0,
+        chain_id: str = DEFAULT_CHAIN,
+    ) -> "UncertainObject":
+        """An object with an uncertain observation (a pdf over states)."""
+        return cls(
+            object_id=str(object_id),
+            observations=ObservationSet.single(
+                Observation(time, distribution)
+            ),
+            chain_id=chain_id,
+        )
+
+    @property
+    def initial(self) -> Observation:
+        """The earliest observation."""
+        return self.observations.first
+
+    @property
+    def n_states(self) -> int:
+        """State count of the object's distributions."""
+        return self.observations.n_states
+
+    def has_multiple_observations(self) -> bool:
+        """Whether Section VI processing (interpolation) is required."""
+        return len(self.observations) > 1

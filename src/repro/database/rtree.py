@@ -1,0 +1,263 @@
+"""A static STR-packed R-tree.
+
+The filter-refinement paradigm of uncertain query processing (Section II's
+[8], and the pruning discussion in Section V-C) needs a spatial access
+method over object locations.  This module implements a classic R-tree
+with Sort-Tile-Recursive (STR) bulk loading:
+
+1. entries are sorted by the x-centre and cut into vertical slabs of
+   ``ceil(sqrt(n / capacity))`` tiles,
+2. each slab is sorted by the y-centre and packed into nodes of at most
+   ``capacity`` entries,
+3. the produced nodes become the entries of the next level, recursively,
+   until a single root remains.
+
+The tree is immutable after construction (bulk-load only), which matches
+its use here: databases are loaded once and queried many times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ValidationError
+
+__all__ = ["Rect", "RTree"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (2-D MBR).
+
+    Degenerate rectangles (points, segments) are allowed; ``min`` must not
+    exceed ``max`` per axis.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValidationError(
+                f"inverted rectangle ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        """The degenerate rectangle of a single point."""
+        return cls(x, y, x, y)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two (closed) rectangles overlap."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """Whether ``other`` lies fully inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """The minimum bounding rectangle of both."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expand(self, margin: float) -> "Rect":
+        """Grow the rectangle by ``margin`` on every side.
+
+        Used by the pruning layer: an object observed inside ``r`` can,
+        after ``dt`` steps of at most ``v`` distance each, be anywhere in
+        ``r.expand(v * dt)``.
+        """
+        if margin < 0:
+            raise ValidationError(f"margin must be non-negative, got {margin}")
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    @property
+    def area(self) -> float:
+        """Area (zero for degenerate rectangles)."""
+        return (self.max_x - self.min_x) * (self.max_y - self.min_y)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """The rectangle's centre point."""
+        return (
+            0.5 * (self.min_x + self.max_x),
+            0.5 * (self.min_y + self.max_y),
+        )
+
+    @staticmethod
+    def union_all(rects: Sequence["Rect"]) -> "Rect":
+        """MBR of a non-empty sequence of rectangles."""
+        if not rects:
+            raise ValidationError("union_all of zero rectangles")
+        result = rects[0]
+        for rect in rects[1:]:
+            result = result.union(rect)
+        return result
+
+
+class _Node:
+    """Internal R-tree node: an MBR plus children or leaf entries."""
+
+    __slots__ = ("mbr", "children", "entries")
+
+    def __init__(
+        self,
+        mbr: Rect,
+        children: Optional[List["_Node"]] = None,
+        entries: Optional[List[Tuple[Rect, object]]] = None,
+    ) -> None:
+        self.mbr = mbr
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class RTree:
+    """A bulk-loaded, read-only R-tree over ``(Rect, item)`` entries.
+
+    Args:
+        entries: the indexed rectangles with their payloads.
+        capacity: maximum entries per node (fan-out), default 16.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[Tuple[Rect, object]],
+        capacity: int = 16,
+    ) -> None:
+        if capacity < 2:
+            raise ValidationError(
+                f"node capacity must be at least 2, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        items = list(entries)
+        self._size = len(items)
+        self._root = self._bulk_load(items) if items else None
+
+    @classmethod
+    def from_points(
+        cls,
+        points: Iterable[Tuple[float, float, object]],
+        capacity: int = 16,
+    ) -> "RTree":
+        """Build from ``(x, y, item)`` triples."""
+        return cls(
+            ((Rect.point(x, y), item) for x, y, item in points),
+            capacity=capacity,
+        )
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+    def _bulk_load(self, items: List[Tuple[Rect, object]]) -> _Node:
+        leaves = self._pack_leaves(items)
+        level = leaves
+        while len(level) > 1:
+            level = self._pack_nodes(level)
+        return level[0]
+
+    def _pack_leaves(
+        self, items: List[Tuple[Rect, object]]
+    ) -> List[_Node]:
+        groups = self._str_partition(items, lambda entry: entry[0].center)
+        return [
+            _Node(
+                Rect.union_all([rect for rect, _ in group]),
+                entries=group,
+            )
+            for group in groups
+        ]
+
+    def _pack_nodes(self, nodes: List[_Node]) -> List[_Node]:
+        groups = self._str_partition(nodes, lambda node: node.mbr.center)
+        return [
+            _Node(
+                Rect.union_all([node.mbr for node in group]),
+                children=group,
+            )
+            for group in groups
+        ]
+
+    def _str_partition(self, items, center_of) -> List[List]:
+        """Sort-Tile-Recursive partition into groups of <= capacity."""
+        n = len(items)
+        n_nodes = math.ceil(n / self.capacity)
+        n_slabs = math.ceil(math.sqrt(n_nodes))
+        slab_size = math.ceil(n / n_slabs) if n_slabs else n
+        by_x = sorted(items, key=lambda item: center_of(item)[0])
+        groups: List[List] = []
+        for slab_start in range(0, n, slab_size):
+            slab = by_x[slab_start:slab_start + slab_size]
+            slab.sort(key=lambda item: center_of(item)[1])
+            for group_start in range(0, len(slab), self.capacity):
+                groups.append(slab[group_start:group_start + self.capacity])
+        return groups
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height (0 for an empty tree, 1 for a single leaf)."""
+        height = 0
+        node = self._root
+        while node is not None:
+            height += 1
+            node = node.children[0] if not node.is_leaf else None
+        return height
+
+    def search(self, query: Rect) -> List[object]:
+        """All payloads whose rectangle intersects ``query``."""
+        results: List[object] = []
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.mbr.intersects(query):
+                continue
+            if node.is_leaf:
+                for rect, item in node.entries:
+                    if rect.intersects(query):
+                        results.append(item)
+            else:
+                stack.extend(node.children)
+        return results
+
+    def count(self, query: Rect) -> int:
+        """Number of intersecting entries (no payload materialisation)."""
+        return len(self.search(query))
+
+    def root_mbr(self) -> Optional[Rect]:
+        """The MBR of all indexed entries (None when empty)."""
+        return self._root.mbr if self._root is not None else None

@@ -1,0 +1,166 @@
+"""Persistence for chains and databases.
+
+Formats:
+
+* a Markov chain is stored as an ``.npz`` archive of its CSR arrays
+  (``indptr``, ``indices``, ``data``, ``shape``);
+* a database is stored as a directory with
+
+  - ``meta.json`` -- the schema version, state count, object records
+    (observations as sparse ``{state: probability}`` maps), and the list
+    of chain ids;
+  - ``chain_<id>.npz`` -- one archive per registered chain.
+
+Round-tripping is exact for the chain arrays and exact up to float64
+repr for observation probabilities (JSON stores them as decimal floats;
+``repr``-faithful serialisation keeps equality in practice).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import SerializationError
+from repro.core.markov import MarkovChain
+from repro.core.observation import Observation, ObservationSet
+from repro.database.objects import UncertainObject
+from repro.database.uncertain_db import TrajectoryDatabase
+
+__all__ = [
+    "save_chain",
+    "load_chain",
+    "save_database",
+    "load_database",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def save_chain(chain: MarkovChain, path: Union[str, Path]) -> None:
+    """Write a chain's CSR arrays to an ``.npz`` archive."""
+    matrix = chain.matrix
+    np.savez_compressed(
+        Path(path),
+        indptr=matrix.indptr,
+        indices=matrix.indices,
+        data=matrix.data,
+        shape=np.asarray(matrix.shape, dtype=np.int64),
+    )
+
+
+def load_chain(path: Union[str, Path]) -> MarkovChain:
+    """Read a chain written by :func:`save_chain`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no chain archive at {path}")
+    try:
+        with np.load(path) as archive:
+            matrix = sp.csr_matrix(
+                (archive["data"], archive["indices"], archive["indptr"]),
+                shape=tuple(archive["shape"]),
+            )
+    except (KeyError, ValueError, OSError) as error:
+        raise SerializationError(
+            f"corrupt chain archive at {path}: {error}"
+        ) from error
+    return MarkovChain(matrix)
+
+
+def _observation_to_json(observation: Observation) -> Dict:
+    return {
+        "time": observation.time,
+        "distribution": {
+            str(state): probability
+            for state, probability in observation.distribution.items()
+        },
+    }
+
+
+def _observation_from_json(record: Dict, n_states: int) -> Observation:
+    weights = {
+        int(state): float(probability)
+        for state, probability in record["distribution"].items()
+    }
+    return Observation(
+        int(record["time"]),
+        StateDistribution.from_dict(n_states, weights, normalize=True),
+    )
+
+
+def save_database(
+    database: TrajectoryDatabase, directory: Union[str, Path]
+) -> None:
+    """Persist a database into ``directory`` (created if missing).
+
+    The geometric state space is *not* persisted (it is a code-level
+    construct); reload attaches none.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "schema_version": _SCHEMA_VERSION,
+        "n_states": database.n_states,
+        "chains": database.chain_ids,
+        "objects": [
+            {
+                "object_id": obj.object_id,
+                "chain_id": obj.chain_id,
+                "observations": [
+                    _observation_to_json(observation)
+                    for observation in obj.observations
+                ],
+            }
+            for obj in database
+        ],
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    for chain_id in database.chain_ids:
+        save_chain(
+            database.chain(chain_id), directory / f"chain_{chain_id}.npz"
+        )
+
+
+def load_database(directory: Union[str, Path]) -> TrajectoryDatabase:
+    """Reload a database written by :func:`save_database`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise SerializationError(f"no database metadata at {meta_path}")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(
+            f"corrupt metadata at {meta_path}: {error}"
+        ) from error
+    if meta.get("schema_version") != _SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema version {meta.get('schema_version')!r} "
+            f"(this build reads version {_SCHEMA_VERSION})"
+        )
+    n_states = int(meta["n_states"])
+    database = TrajectoryDatabase(n_states)
+    for chain_id in meta["chains"]:
+        database.register_chain(
+            chain_id, load_chain(directory / f"chain_{chain_id}.npz")
+        )
+    for record in meta["objects"]:
+        observations = ObservationSet(
+            tuple(
+                _observation_from_json(obs_record, n_states)
+                for obs_record in record["observations"]
+            )
+        )
+        database.add(
+            UncertainObject(
+                object_id=record["object_id"],
+                observations=observations,
+                chain_id=record["chain_id"],
+            )
+        )
+    return database

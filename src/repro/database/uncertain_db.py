@@ -1,0 +1,170 @@
+"""The trajectory database: uncertain objects over shared Markov chains.
+
+A :class:`TrajectoryDatabase` holds
+
+* an optional :class:`~repro.core.state_space.StateSpace` giving geometric
+  meaning to state indices,
+* one or more named Markov chains (one per object class, Section V-C),
+* any number of :class:`~repro.database.objects.UncertainObject` records.
+
+All consistency checks (matching state counts, known chain ids, unique
+object ids) happen at insertion time so query processing can assume a
+well-formed database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import ValidationError
+from repro.core.markov import MarkovChain
+from repro.core.state_space import StateSpace
+from repro.database.objects import DEFAULT_CHAIN, UncertainObject
+
+__all__ = ["TrajectoryDatabase"]
+
+
+class TrajectoryDatabase:
+    """A collection of uncertain spatio-temporal objects.
+
+    Args:
+        n_states: number of states of every chain and object in the
+            database.
+        state_space: optional geometric state space; when given its size
+            must equal ``n_states``.
+    """
+
+    def __init__(
+        self, n_states: int, state_space: Optional[StateSpace] = None
+    ) -> None:
+        if n_states <= 0:
+            raise ValidationError(
+                f"n_states must be positive, got {n_states}"
+            )
+        if state_space is not None and state_space.n_states != n_states:
+            raise ValidationError(
+                f"state space has {state_space.n_states} states, "
+                f"database declared {n_states}"
+            )
+        self.n_states = int(n_states)
+        self.state_space = state_space
+        self._chains: Dict[str, MarkovChain] = {}
+        self._objects: Dict[str, UncertainObject] = {}
+
+    @classmethod
+    def with_chain(
+        cls,
+        chain: MarkovChain,
+        state_space: Optional[StateSpace] = None,
+        chain_id: str = DEFAULT_CHAIN,
+    ) -> "TrajectoryDatabase":
+        """Database with a single shared chain (the common case)."""
+        database = cls(chain.n_states, state_space)
+        database.register_chain(chain_id, chain)
+        return database
+
+    # ------------------------------------------------------------------
+    # chains
+    # ------------------------------------------------------------------
+    def register_chain(self, chain_id: str, chain: MarkovChain) -> None:
+        """Register (or replace) the chain for an object class."""
+        if chain.n_states != self.n_states:
+            raise ValidationError(
+                f"chain over {chain.n_states} states, database over "
+                f"{self.n_states}"
+            )
+        self._chains[str(chain_id)] = chain
+
+    def chain(self, chain_id: str = DEFAULT_CHAIN) -> MarkovChain:
+        """The chain registered under ``chain_id``."""
+        try:
+            return self._chains[chain_id]
+        except KeyError:
+            raise ValidationError(
+                f"no chain registered under {chain_id!r}; known: "
+                f"{sorted(self._chains)}"
+            ) from None
+
+    @property
+    def chain_ids(self) -> List[str]:
+        """All registered chain identifiers, sorted."""
+        return sorted(self._chains)
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+    def add(self, obj: UncertainObject) -> None:
+        """Insert an object; validates chain id, state count, unique id."""
+        if obj.object_id in self._objects:
+            raise ValidationError(
+                f"duplicate object id {obj.object_id!r}"
+            )
+        if obj.chain_id not in self._chains:
+            raise ValidationError(
+                f"object {obj.object_id!r} references unknown chain "
+                f"{obj.chain_id!r}"
+            )
+        if obj.n_states != self.n_states:
+            raise ValidationError(
+                f"object {obj.object_id!r} is over {obj.n_states} states, "
+                f"database over {self.n_states}"
+            )
+        self._objects[obj.object_id] = obj
+
+    def add_all(self, objects: Sequence[UncertainObject]) -> None:
+        """Insert several objects."""
+        for obj in objects:
+            self.add(obj)
+
+    def get(self, object_id: str) -> UncertainObject:
+        """Fetch an object by id."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise ValidationError(
+                f"unknown object id {object_id!r}"
+            ) from None
+
+    def remove(self, object_id: str) -> UncertainObject:
+        """Delete and return an object."""
+        obj = self.get(object_id)
+        del self._objects[object_id]
+        return obj
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[UncertainObject]:
+        return iter(self._objects.values())
+
+    @property
+    def object_ids(self) -> List[str]:
+        """All object ids in insertion order."""
+        return list(self._objects)
+
+    def objects_by_chain(self) -> Dict[str, List[UncertainObject]]:
+        """Group objects by the chain they follow (for QB batching)."""
+        groups: Dict[str, List[UncertainObject]] = {}
+        for obj in self._objects.values():
+            groups.setdefault(obj.chain_id, []).append(obj)
+        return groups
+
+    def initial_distributions(
+        self, chain_id: Optional[str] = None
+    ) -> List[Tuple[str, StateDistribution]]:
+        """``(object_id, first-observation distribution)`` pairs."""
+        return [
+            (obj.object_id, obj.initial.distribution)
+            for obj in self._objects.values()
+            if chain_id is None or obj.chain_id == chain_id
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryDatabase(n_states={self.n_states}, "
+            f"objects={len(self)}, chains={self.chain_ids})"
+        )

@@ -1,0 +1,31 @@
+"""Linear-algebra substrate for the repro library.
+
+The paper performs every query through (sparse) matrix--vector
+multiplications, using MATLAB's sparse engine.  This subpackage provides the
+equivalent substrate:
+
+* :mod:`repro.linalg.sparse` -- an independent, pure-Python compressed
+  sparse row (CSR) matrix implementation.  It exists both as a fallback when
+  scipy is unavailable and as an independently-implemented oracle used by
+  the test suite to cross-check the scipy backend.
+* :mod:`repro.linalg.ops` -- a thin dispatch layer that routes matrix
+  construction and multiplication either to scipy or to the pure backend.
+"""
+
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.ops import (
+    Backend,
+    available_backends,
+    get_backend,
+    matvec,
+    vecmat,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "matvec",
+    "vecmat",
+]

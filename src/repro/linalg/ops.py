@@ -1,0 +1,158 @@
+"""Backend dispatch for sparse linear algebra.
+
+The query processors in :mod:`repro.core` never touch scipy directly; they
+call the functions in this module, which route to one of two backends:
+
+* ``"scipy"`` -- :class:`scipy.sparse.csr_matrix` with numpy vectors.  This
+  is the production backend and mirrors the paper's use of MATLAB's sparse
+  engine.
+* ``"pure"``  -- :class:`repro.linalg.sparse.CSRMatrix` with Python lists.
+  Dependency-free and independently implemented; used as a cross-check.
+
+A backend is selected per call site via :func:`get_backend`; the default is
+scipy when importable, otherwise pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import BackendError
+from repro.linalg.sparse import CSRMatrix
+
+try:  # scipy is a hard dependency of the distribution but keep it optional
+    import numpy as _np
+    import scipy.sparse as _sp
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _np = None
+    _sp = None
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "matvec",
+    "vecmat",
+]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A sparse linear-algebra backend.
+
+    Attributes:
+        name: ``"scipy"`` or ``"pure"``.
+        from_coo: build a CSR matrix from ``(nrows, ncols, triples)``.
+        from_dense: build a CSR matrix from a nested-list dense matrix.
+        identity: build an identity matrix of size ``n``.
+        transpose: return the transposed matrix (CSR again).
+        vecmat: row-vector times matrix.
+        matvec: matrix times column-vector.
+        zeros_vector: an all-zero vector of length ``n``.
+    """
+
+    name: str
+    from_coo: Callable[[int, int, Iterable[Tuple[int, int, float]]], Any]
+    from_dense: Callable[[Sequence[Sequence[float]]], Any]
+    identity: Callable[[int], Any]
+    transpose: Callable[[Any], Any]
+    vecmat: Callable[[Any, Any], Any]
+    matvec: Callable[[Any, Any], Any]
+    zeros_vector: Callable[[int], Any]
+
+
+def _pure_backend() -> Backend:
+    return Backend(
+        name="pure",
+        from_coo=lambda nrows, ncols, triples: CSRMatrix.from_coo(
+            nrows, ncols, triples
+        ),
+        from_dense=CSRMatrix.from_dense,
+        identity=CSRMatrix.identity,
+        transpose=lambda m: m.transpose(),
+        vecmat=lambda x, m: m.vecmat(list(x)),
+        matvec=lambda m, x: m.matvec(list(x)),
+        zeros_vector=lambda n: [0.0] * n,
+    )
+
+
+def _scipy_backend() -> Backend:
+    if not _HAVE_SCIPY:  # pragma: no cover
+        raise BackendError("scipy is not installed")
+
+    def from_coo(nrows, ncols, triples):
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for i, j, v in triples:
+            rows.append(i)
+            cols.append(j)
+            vals.append(v)
+        return _sp.csr_matrix(
+            (vals, (rows, cols)), shape=(nrows, ncols), dtype=float
+        )
+
+    return Backend(
+        name="scipy",
+        from_coo=from_coo,
+        from_dense=lambda rows: _sp.csr_matrix(
+            _np.asarray(rows, dtype=float)
+        ),
+        identity=lambda n: _sp.identity(n, dtype=float, format="csr"),
+        transpose=lambda m: m.transpose().tocsr(),
+        vecmat=lambda x, m: _np.asarray(x, dtype=float) @ m,
+        matvec=lambda m, x: m @ _np.asarray(x, dtype=float),
+        zeros_vector=lambda n: _np.zeros(n, dtype=float),
+    )
+
+
+_BACKENDS: Dict[str, Callable[[], Backend]] = {
+    "pure": _pure_backend,
+}
+if _HAVE_SCIPY:
+    _BACKENDS["scipy"] = _scipy_backend
+
+_DEFAULT = "scipy" if _HAVE_SCIPY else "pure"
+
+
+def available_backends() -> List[str]:
+    """Names of the backends importable in this environment."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """Return the backend called ``name`` (default: scipy, else pure).
+
+    Raises:
+        BackendError: when ``name`` is not one of :func:`available_backends`.
+    """
+    key = name or _DEFAULT
+    try:
+        factory = _BACKENDS[key]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {key!r}; available: {available_backends()}"
+        ) from None
+    return factory()
+
+
+def vecmat(x: Any, matrix: Any) -> Any:
+    """Row-vector times matrix for either backend's matrix type."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix.vecmat(list(x))
+    if _HAVE_SCIPY:
+        return _np.asarray(x, dtype=float) @ matrix
+    raise BackendError(f"unsupported matrix type {type(matrix)!r}")
+
+
+def matvec(matrix: Any, x: Any) -> Any:
+    """Matrix times column-vector for either backend's matrix type."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix.matvec(list(x))
+    if _HAVE_SCIPY:
+        return matrix @ _np.asarray(x, dtype=float)
+    raise BackendError(f"unsupported matrix type {type(matrix)!r}")

@@ -1,0 +1,418 @@
+"""A pure-Python compressed sparse row (CSR) matrix.
+
+The paper reduces every probabilistic spatio-temporal query to repeated
+vector--matrix products with (augmented) Markov transition matrices, and
+notes that the required machinery is "provided by Matlab libraries ...
+available for all common programming languages".  The production backend of
+this library is :mod:`scipy.sparse`; this module is an *independent*
+implementation of the same data structure with three purposes:
+
+1. a dependency-free fallback (the core algorithms run without scipy),
+2. an oracle for the test suite -- two independently written mat-vec kernels
+   agreeing on random inputs is strong evidence both are right,
+3. an executable specification: the code is written for clarity, making the
+   CSR invariants explicit.
+
+The CSR layout stores a matrix in three arrays:
+
+* ``indptr``  -- ``indptr[i]:indptr[i+1]`` delimits row ``i``'s entries,
+* ``indices`` -- the column index of each stored entry,
+* ``data``    -- the value of each stored entry.
+
+Invariants (checked by :meth:`CSRMatrix.validate`):
+
+* ``len(indptr) == nrows + 1``, ``indptr[0] == 0``,
+  ``indptr[-1] == len(data) == len(indices)``,
+* ``indptr`` is non-decreasing,
+* within each row, column indices are strictly increasing and in range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.errors import DimensionMismatchError, ValidationError
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A minimal immutable CSR sparse matrix over Python floats.
+
+    Instances should be built through one of the constructors
+    (:meth:`from_dense`, :meth:`from_coo`, :meth:`from_dict`,
+    :meth:`identity`, :meth:`zeros`) rather than by passing raw arrays,
+    although the raw constructor is public for completeness.
+    """
+
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        data: Sequence[float],
+        validate: bool = True,
+    ) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.indptr: List[int] = list(indptr)
+        self.indices: List[int] = list(indices)
+        self.data: List[float] = [float(x) for x in data]
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "CSRMatrix":
+        """Return the all-zero matrix of the given shape."""
+        return cls(nrows, ncols, [0] * (nrows + 1), [], [], validate=False)
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """Return the ``n`` x ``n`` identity matrix."""
+        return cls(n, n, list(range(n + 1)), list(range(n)), [1.0] * n,
+                   validate=False)
+
+    @classmethod
+    def from_dense(cls, rows: Sequence[Sequence[float]]) -> "CSRMatrix":
+        """Build a CSR matrix from a dense row-major nested sequence."""
+        nrows = len(rows)
+        ncols = len(rows[0]) if nrows else 0
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for row in rows:
+            if len(row) != ncols:
+                raise DimensionMismatchError(
+                    f"ragged dense input: expected {ncols} columns, "
+                    f"got {len(row)}"
+                )
+            for j, value in enumerate(row):
+                if value != 0.0:
+                    indices.append(j)
+                    data.append(float(value))
+            indptr.append(len(indices))
+        return cls(nrows, ncols, indptr, indices, data, validate=False)
+
+    @classmethod
+    def from_coo(
+        cls,
+        nrows: int,
+        ncols: int,
+        entries: Iterable[Tuple[int, int, float]],
+    ) -> "CSRMatrix":
+        """Build from ``(row, col, value)`` triples.
+
+        Duplicate ``(row, col)`` pairs are summed, matching the convention
+        of scipy's COO-to-CSR conversion.  Zero results are dropped.
+        """
+        per_row: Dict[int, Dict[int, float]] = {}
+        for i, j, value in entries:
+            if not (0 <= i < nrows and 0 <= j < ncols):
+                raise ValidationError(
+                    f"entry ({i}, {j}) outside shape ({nrows}, {ncols})"
+                )
+            row = per_row.setdefault(i, {})
+            row[j] = row.get(j, 0.0) + float(value)
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for i in range(nrows):
+            row = per_row.get(i, {})
+            for j in sorted(row):
+                value = row[j]
+                if value != 0.0:
+                    indices.append(j)
+                    data.append(value)
+            indptr.append(len(indices))
+        return cls(nrows, ncols, indptr, indices, data, validate=False)
+
+    @classmethod
+    def from_dict(
+        cls, nrows: int, ncols: int, mapping: Dict[Tuple[int, int], float]
+    ) -> "CSRMatrix":
+        """Build from a ``{(row, col): value}`` mapping."""
+        return cls.from_coo(
+            nrows, ncols, ((i, j, v) for (i, j), v in mapping.items())
+        )
+
+    # ------------------------------------------------------------------
+    # validation and inspection
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all CSR structural invariants; raise on violation."""
+        if self.nrows < 0 or self.ncols < 0:
+            raise ValidationError(
+                f"negative shape ({self.nrows}, {self.ncols})"
+            )
+        if len(self.indptr) != self.nrows + 1:
+            raise ValidationError(
+                f"indptr has length {len(self.indptr)}, "
+                f"expected {self.nrows + 1}"
+            )
+        if self.indptr and self.indptr[0] != 0:
+            raise ValidationError("indptr[0] must be 0")
+        if len(self.indices) != len(self.data):
+            raise ValidationError("indices and data lengths differ")
+        if self.indptr and self.indptr[-1] != len(self.data):
+            raise ValidationError("indptr[-1] must equal nnz")
+        for i in range(self.nrows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            if lo > hi:
+                raise ValidationError(f"indptr decreases at row {i}")
+            previous = -1
+            for k in range(lo, hi):
+                j = self.indices[k]
+                if not (0 <= j < self.ncols):
+                    raise ValidationError(
+                        f"column index {j} out of range in row {i}"
+                    )
+                if j <= previous:
+                    raise ValidationError(
+                        f"column indices not strictly increasing in row {i}"
+                    )
+                previous = j
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The ``(nrows, ncols)`` pair, scipy-compatible."""
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (structurally non-zero) entries."""
+        return len(self.data)
+
+    def row(self, i: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(column, value)`` pairs of row ``i`` in column order."""
+        if not (0 <= i < self.nrows):
+            raise ValidationError(f"row {i} out of range [0, {self.nrows})")
+        for k in range(self.indptr[i], self.indptr[i + 1]):
+            yield self.indices[k], self.data[k]
+
+    def get(self, i: int, j: int) -> float:
+        """Return entry ``(i, j)``, zero when not stored."""
+        for col, value in self.row(i):
+            if col == j:
+                return value
+            if col > j:
+                break
+        return 0.0
+
+    def row_sums(self) -> List[float]:
+        """Return the per-row sum of entries (used for stochastic checks)."""
+        sums = []
+        for i in range(self.nrows):
+            total = 0.0
+            for k in range(self.indptr[i], self.indptr[i + 1]):
+                total += self.data[k]
+            sums.append(total)
+        return sums
+
+    def to_dense(self) -> List[List[float]]:
+        """Materialise the matrix as a dense nested list (small inputs)."""
+        dense = [[0.0] * self.ncols for _ in range(self.nrows)]
+        for i in range(self.nrows):
+            for j, value in self.row(i):
+                dense[i][j] = value
+        return dense
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def matvec(self, x: Sequence[float]) -> List[float]:
+        """Compute the matrix-vector product ``A @ x``."""
+        if len(x) != self.ncols:
+            raise DimensionMismatchError(
+                f"matvec: matrix has {self.ncols} columns, "
+                f"vector has length {len(x)}"
+            )
+        result = [0.0] * self.nrows
+        for i in range(self.nrows):
+            total = 0.0
+            for k in range(self.indptr[i], self.indptr[i + 1]):
+                total += self.data[k] * x[self.indices[k]]
+            result[i] = total
+        return result
+
+    def vecmat(self, x: Sequence[float]) -> List[float]:
+        """Compute the vector-matrix product ``x @ A``.
+
+        This is the fundamental operation of the paper: a row distribution
+        vector pushed through one Markov transition (Corollary 1).
+        """
+        if len(x) != self.nrows:
+            raise DimensionMismatchError(
+                f"vecmat: matrix has {self.nrows} rows, "
+                f"vector has length {len(x)}"
+            )
+        result = [0.0] * self.ncols
+        for i, xi in enumerate(x):
+            if xi == 0.0:
+                continue  # sparsity of the distribution vector
+            for k in range(self.indptr[i], self.indptr[i + 1]):
+                result[self.indices[k]] += xi * self.data[k]
+        return result
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transposed matrix (used by the query-based approach)."""
+        counts = [0] * self.ncols
+        for j in self.indices:
+            counts[j] += 1
+        indptr = [0] * (self.ncols + 1)
+        for j in range(self.ncols):
+            indptr[j + 1] = indptr[j] + counts[j]
+        cursor = list(indptr[:-1])
+        indices = [0] * self.nnz
+        data = [0.0] * self.nnz
+        for i in range(self.nrows):
+            for k in range(self.indptr[i], self.indptr[i + 1]):
+                j = self.indices[k]
+                pos = cursor[j]
+                indices[pos] = i
+                data[pos] = self.data[k]
+                cursor[j] = pos + 1
+        return CSRMatrix(
+            self.ncols, self.nrows, indptr, indices, data, validate=False
+        )
+
+    def matmul(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Return the sparse product ``self @ other`` (row-by-row SpGEMM)."""
+        if self.ncols != other.nrows:
+            raise DimensionMismatchError(
+                f"matmul: ({self.nrows}, {self.ncols}) @ "
+                f"({other.nrows}, {other.ncols})"
+            )
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for i in range(self.nrows):
+            accumulator: Dict[int, float] = {}
+            for k in range(self.indptr[i], self.indptr[i + 1]):
+                j = self.indices[k]
+                a_ij = self.data[k]
+                for kk in range(other.indptr[j], other.indptr[j + 1]):
+                    col = other.indices[kk]
+                    accumulator[col] = (
+                        accumulator.get(col, 0.0) + a_ij * other.data[kk]
+                    )
+            for col in sorted(accumulator):
+                value = accumulator[col]
+                if value != 0.0:
+                    indices.append(col)
+                    data.append(value)
+            indptr.append(len(indices))
+        return CSRMatrix(
+            self.nrows, other.ncols, indptr, indices, data, validate=False
+        )
+
+    def scale(self, factor: float) -> "CSRMatrix":
+        """Return the matrix with every entry multiplied by ``factor``."""
+        return CSRMatrix(
+            self.nrows,
+            self.ncols,
+            self.indptr,
+            self.indices,
+            [value * factor for value in self.data],
+            validate=False,
+        )
+
+    def add(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Return the entrywise sum ``self + other``."""
+        if self.shape != other.shape:
+            raise DimensionMismatchError(
+                f"add: {self.shape} + {other.shape}"
+            )
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for i in range(self.nrows):
+            merged: Dict[int, float] = {}
+            for j, value in self.row(i):
+                merged[j] = merged.get(j, 0.0) + value
+            for j, value in other.row(i):
+                merged[j] = merged.get(j, 0.0) + value
+            for j in sorted(merged):
+                value = merged[j]
+                if value != 0.0:
+                    indices.append(j)
+                    data.append(value)
+            indptr.append(len(indices))
+        return CSRMatrix(
+            self.nrows, self.ncols, indptr, indices, data, validate=False
+        )
+
+    def select_columns(self, keep: Iterable[int]) -> "CSRMatrix":
+        """Zero out every column *not* in ``keep`` (shape preserved).
+
+        This is the paper's ``M'`` construction (Section V-A and VI): the
+        matrix derived from ``M`` "by setting all columns to zero" outside a
+        state set.
+        """
+        keep_set = set(keep)
+        for j in keep_set:
+            if not (0 <= j < self.ncols):
+                raise ValidationError(
+                    f"column {j} out of range [0, {self.ncols})"
+                )
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for i in range(self.nrows):
+            for j, value in self.row(i):
+                if j in keep_set:
+                    indices.append(j)
+                    data.append(value)
+            indptr.append(len(indices))
+        return CSRMatrix(
+            self.nrows, self.ncols, indptr, indices, data, validate=False
+        )
+
+    def drop_columns(self, drop: Iterable[int]) -> "CSRMatrix":
+        """Zero out every column in ``drop`` (shape preserved)."""
+        drop_set = set(drop)
+        keep = (j for j in range(self.ncols) if j not in drop_set)
+        return self.select_columns(keep)
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: "CSRMatrix") -> "CSRMatrix":
+        return self.matmul(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.indptr == other.indptr
+            and self.indices == other.indices
+            and self.data == other.data
+        )
+
+    def __hash__(self) -> int:  # immutable by convention
+        return hash(
+            (self.nrows, self.ncols, tuple(self.indices), tuple(self.data))
+        )
+
+    def allclose(self, other: "CSRMatrix", tol: float = 1e-12) -> bool:
+        """Entrywise comparison within ``tol`` (handles different sparsity)."""
+        if self.shape != other.shape:
+            return False
+        for i in range(self.nrows):
+            mine = dict(self.row(i))
+            theirs = dict(other.row(i))
+            for j in set(mine) | set(theirs):
+                if abs(mine.get(j, 0.0) - theirs.get(j, 0.0)) > tol:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix(shape=({self.nrows}, {self.ncols}), nnz={self.nnz})"
+        )

@@ -1,0 +1,126 @@
+"""Terminal-friendly visualisation helpers.
+
+No plotting dependencies are available offline, so the examples render
+distributions and forecast heatmaps as ASCII art: a density character ramp
+over grid cells, and sparkline-style bars for 1-D distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import ValidationError
+from repro.core.state_space import GridStateSpace
+
+__all__ = ["render_grid", "render_bar_chart", "render_series"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def render_grid(
+    grid: GridStateSpace,
+    values: Sequence[float],
+    highlight: Iterable[int] = (),
+    title: Optional[str] = None,
+) -> str:
+    """Render per-state values over a 2-D grid as an ASCII heatmap.
+
+    Args:
+        grid: the grid state space (fixes the layout).
+        values: one value per state (e.g. a probability vector).
+        highlight: states drawn as ``[]`` regardless of value (e.g. a
+            query region).
+        title: optional heading line.
+
+    Returns:
+        A multi-line string; the row with cell ``y = 0`` is printed last
+        so the y axis points up.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.shape != (grid.n_states,):
+        raise ValidationError(
+            f"expected {grid.n_states} values, got shape {array.shape}"
+        )
+    highlighted = set(highlight)
+    peak = float(array.max())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for y in reversed(range(grid.height)):
+        cells = []
+        for x in range(grid.width):
+            state = grid.state_of_cell(x, y)
+            if state in highlighted:
+                cells.append("[]")
+                continue
+            value = array[state]
+            if peak <= 0:
+                level = 0
+            else:
+                level = int(round(value / peak * (len(_RAMP) - 1)))
+            cells.append(_RAMP[level] * 2)
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bar chart (one row per label)."""
+    if len(labels) != len(values):
+        raise ValidationError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if width < 1:
+        raise ValidationError(f"width must be positive, got {width}")
+    peak = max((abs(v) for v in values), default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = (
+            "#" * int(round(abs(value) / peak * width)) if peak > 0 else ""
+        )
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.4f}")
+    return "\n".join(lines)
+
+
+def render_series(
+    x_values: Sequence[float],
+    series: dict,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render several curves as aligned rows of bars (one block per curve)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, values in series.items():
+        lines.append(f"-- {label}")
+        lines.append(
+            render_bar_chart(
+                [str(x) for x in x_values], list(values), width=width
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_distribution_support(
+    distribution: StateDistribution, limit: int = 10
+) -> str:
+    """One-line summary of a distribution's heaviest states."""
+    items = sorted(
+        distribution.items(), key=lambda pair: -pair[1]
+    )[:limit]
+    rendered = ", ".join(
+        f"s{state}:{probability:.3f}" for state, probability in items
+    )
+    suffix = ", ..." if distribution.support_size() > limit else ""
+    return f"{{{rendered}{suffix}}}"

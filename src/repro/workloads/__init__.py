@@ -1,0 +1,44 @@
+"""Workload generators for the paper's evaluation (Section VIII-A).
+
+* :mod:`repro.workloads.synthetic` -- the Table I synthetic generator
+  (``|D|``, ``|S|``, ``object_spread``, ``state_spread``, ``max_step``).
+* :mod:`repro.workloads.road_network` -- road-network workloads shaped
+  like the paper's Munich and North America datasets.
+* :mod:`repro.workloads.icebergs` -- the iceberg-drift application from
+  the paper's introduction (grid state space driven by an ocean-current
+  field).
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    make_line_chain,
+    make_synthetic_database,
+    default_paper_window,
+)
+from repro.workloads.road_network import (
+    RoadNetworkConfig,
+    make_road_network,
+    make_road_database,
+    munich_like_config,
+    north_america_like_config,
+)
+from repro.workloads.icebergs import (
+    OceanCurrentField,
+    make_iceberg_chain,
+    make_iceberg_database,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "make_line_chain",
+    "make_synthetic_database",
+    "default_paper_window",
+    "RoadNetworkConfig",
+    "make_road_network",
+    "make_road_database",
+    "munich_like_config",
+    "north_america_like_config",
+    "OceanCurrentField",
+    "make_iceberg_chain",
+    "make_iceberg_database",
+]

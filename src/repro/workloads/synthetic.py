@@ -1,0 +1,203 @@
+"""The Table I synthetic workload generator.
+
+The paper's synthetic datasets are parameterised by (Table I):
+
+=============== =================== =========
+parameter       value range         default
+=============== =================== =========
+``|D|``         1,000 - 100,000     10,000
+``|S|``         2,000 - 100,000     100,000
+object spread   5                   5
+state spread    1 - 20              5
+max step        10 - 100            40
+=============== =================== =========
+
+Semantics (Section VIII-A):
+
+* each object's location at ``t_0`` is a pdf over ``object_spread``
+  states;
+* from each state it is possible to transition into ``state_spread``
+  states;
+* an object in state ``s_i`` can only transition into states
+  ``s_j in [s_i - max_step/2, s_i + max_step/2]`` (transition locality);
+* the default query window is states ``[100, 120]`` times ``[20, 25]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.distribution import StateDistribution
+from repro.core.errors import ValidationError
+from repro.core.markov import MarkovChain
+from repro.core.query import SpatioTemporalWindow
+from repro.core.state_space import LineStateSpace
+from repro.database.objects import UncertainObject
+from repro.database.uncertain_db import TrajectoryDatabase
+
+__all__ = [
+    "SyntheticConfig",
+    "make_line_chain",
+    "make_synthetic_database",
+    "default_paper_window",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic dataset (paper Table I).
+
+    Attributes:
+        n_objects: database size ``|D|``.
+        n_states: state-space size ``|S|``.
+        object_spread: states per object's initial pdf.
+        state_spread: out-degree of each state.
+        max_step: locality bound -- reachable window width per transition.
+        seed: RNG seed for reproducible datasets.
+    """
+
+    n_objects: int = 10_000
+    n_states: int = 100_000
+    object_spread: int = 5
+    state_spread: int = 5
+    max_step: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValidationError(
+                f"n_objects must be positive, got {self.n_objects}"
+            )
+        if self.n_states < 2:
+            raise ValidationError(
+                f"n_states must be at least 2, got {self.n_states}"
+            )
+        if self.object_spread < 1:
+            raise ValidationError(
+                f"object_spread must be positive, got {self.object_spread}"
+            )
+        if self.state_spread < 1:
+            raise ValidationError(
+                f"state_spread must be positive, got {self.state_spread}"
+            )
+        if self.max_step < 1:
+            raise ValidationError(
+                f"max_step must be positive, got {self.max_step}"
+            )
+        if self.state_spread > self.max_step + 1:
+            raise ValidationError(
+                f"state_spread={self.state_spread} exceeds the "
+                f"max_step={self.max_step} locality window"
+            )
+
+
+def make_line_chain(
+    n_states: int,
+    state_spread: int = 5,
+    max_step: int = 40,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> MarkovChain:
+    """Generate the Table I transition matrix.
+
+    Each state ``s_i`` gets ``state_spread`` distinct successor states
+    drawn uniformly from ``[i - max_step/2, i + max_step/2]`` (clipped to
+    the state space); the transition probabilities are random and
+    normalised to sum one.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    half = max_step // 2
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    for state in range(n_states):
+        low = max(0, state - half)
+        high = min(n_states - 1, state + half)
+        candidates = np.arange(low, high + 1)
+        k = min(state_spread, candidates.size)
+        targets = rng.choice(candidates, size=k, replace=False)
+        weights = rng.random(k)
+        weights /= weights.sum()
+        rows.append(np.full(k, state, dtype=np.int64))
+        cols.append(targets.astype(np.int64))
+        vals.append(weights)
+    matrix = sp.csr_matrix(
+        (
+            np.concatenate(vals),
+            (np.concatenate(rows), np.concatenate(cols)),
+        ),
+        shape=(n_states, n_states),
+        dtype=float,
+    )
+    return MarkovChain(matrix)
+
+
+def make_object_distribution(
+    n_states: int,
+    object_spread: int,
+    rng: np.random.Generator,
+) -> StateDistribution:
+    """One object's initial pdf: random weights over a contiguous block."""
+    spread = min(object_spread, n_states)
+    start = int(rng.integers(0, n_states - spread + 1))
+    weights = rng.random(spread)
+    return StateDistribution.from_dict(
+        n_states,
+        {start + offset: float(w) for offset, w in enumerate(weights)},
+        normalize=True,
+    )
+
+
+def make_synthetic_database(
+    config: SyntheticConfig,
+) -> TrajectoryDatabase:
+    """Build the full synthetic database for one parameter setting.
+
+    Objects are "randomly distributed across the state space" as in the
+    paper's experiments, each with an ``object_spread``-state pdf at
+    ``t = 0``, all sharing one Table I chain.
+    """
+    rng = np.random.default_rng(config.seed)
+    chain = make_line_chain(
+        config.n_states,
+        state_spread=config.state_spread,
+        max_step=config.max_step,
+        rng=rng,
+    )
+    space = LineStateSpace(config.n_states)
+    database = TrajectoryDatabase.with_chain(chain, state_space=space)
+    for index in range(config.n_objects):
+        database.add(
+            UncertainObject.with_distribution(
+                f"obj-{index}",
+                make_object_distribution(
+                    config.n_states, config.object_spread, rng
+                ),
+            )
+        )
+    return database
+
+
+def default_paper_window(
+    n_states: Optional[int] = None,
+    state_low: int = 100,
+    state_high: int = 120,
+    time_low: int = 20,
+    time_high: int = 25,
+) -> SpatioTemporalWindow:
+    """The paper's default query: states [100, 120], times [20, 25].
+
+    Args:
+        n_states: when given, validate the window fits the state space.
+    """
+    window = SpatioTemporalWindow.from_ranges(
+        state_low, state_high, time_low, time_high
+    )
+    if n_states is not None:
+        window.validate_for(n_states)
+    return window

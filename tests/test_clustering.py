@@ -1,0 +1,181 @@
+"""Tests for chain clustering and the clustered threshold processor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusteredThresholdProcessor,
+    MarkovChain,
+    SpatioTemporalWindow,
+    TrajectoryDatabase,
+    UncertainObject,
+    cluster_chains,
+    ob_exists_probability,
+)
+from repro.core.errors import QueryError, ValidationError
+
+from conftest import random_chain
+
+
+def perturbed(base: MarkovChain, rng, epsilon: float) -> MarkovChain:
+    dense = base.to_dense()
+    n = base.n_states
+    for i in range(n):
+        row = dense[i]
+        mask = row > 0
+        row = np.clip(
+            row + rng.uniform(-epsilon, epsilon, size=n) * mask,
+            1e-6,
+            None,
+        ) * mask
+        dense[i] = row / row.sum()
+    return MarkovChain(dense)
+
+
+class TestClusterChains:
+    def test_identical_chains_form_one_cluster(self, paper_chain):
+        clusters = cluster_chains(
+            {"a": paper_chain, "b": paper_chain}, radius=0.0
+        )
+        assert len(clusters) == 1
+        assert sorted(clusters[0].chain_ids) == ["a", "b"]
+
+    def test_distant_chains_split(self):
+        rng = np.random.default_rng(0)
+        a = random_chain(4, rng, density=1.0)
+        b = random_chain(4, rng, density=1.0)
+        clusters = cluster_chains({"a": a, "b": b}, radius=0.01)
+        assert len(clusters) == 2
+
+    def test_nearby_chains_merge(self):
+        rng = np.random.default_rng(1)
+        base = random_chain(4, rng)
+        near = perturbed(base, rng, 0.02)
+        clusters = cluster_chains(
+            {"base": base, "near": near}, radius=0.2
+        )
+        assert len(clusters) == 1
+        assert clusters[0].interval.contains(base)
+        assert clusters[0].interval.contains(near)
+
+    def test_deterministic_order(self):
+        rng = np.random.default_rng(2)
+        chains = {f"c{i}": random_chain(3, rng) for i in range(5)}
+        first = cluster_chains(chains, radius=0.1)
+        second = cluster_chains(chains, radius=0.1)
+        assert [c.chain_ids for c in first] == [
+            c.chain_ids for c in second
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            cluster_chains({})
+        with pytest.raises(ValidationError):
+            cluster_chains(
+                {"a": MarkovChain.identity(2)}, radius=-1.0
+            )
+
+
+def build_clustered_database(seed=0, n_states=10, per_class=4):
+    """Two families of chains, several objects per chain."""
+    rng = np.random.default_rng(seed)
+    database = TrajectoryDatabase(n_states)
+    family_a = random_chain(n_states, rng)
+    family_b = random_chain(n_states, rng)
+    for index in range(per_class):
+        database.register_chain(
+            f"a{index}", perturbed(family_a, rng, 0.03)
+        )
+        database.register_chain(
+            f"b{index}", perturbed(family_b, rng, 0.03)
+        )
+    counter = 0
+    for chain_id in database.chain_ids:
+        for _ in range(2):
+            database.add(
+                UncertainObject.at_state(
+                    f"o{counter}",
+                    n_states,
+                    int(rng.integers(0, n_states)),
+                    chain_id=chain_id,
+                )
+            )
+            counter += 1
+    return database
+
+
+class TestClusteredThresholdProcessor:
+    WINDOW = SpatioTemporalWindow(frozenset({0, 1}), frozenset({2, 3}))
+
+    def test_matches_exact_evaluation(self):
+        database = build_clustered_database()
+        processor = ClusteredThresholdProcessor(database, radius=0.15)
+        threshold = 0.3
+        answer = processor.evaluate(self.WINDOW, threshold)
+        expected = set()
+        for obj in database:
+            chain = database.chain(obj.chain_id)
+            p = ob_exists_probability(
+                chain, obj.initial.distribution, self.WINDOW
+            )
+            if p >= threshold:
+                expected.add(obj.object_id)
+        assert set(answer.accepted) == expected
+
+    def test_matches_exact_at_many_thresholds(self):
+        database = build_clustered_database(seed=3)
+        processor = ClusteredThresholdProcessor(database, radius=0.15)
+        for threshold in (0.05, 0.25, 0.5, 0.9):
+            answer = processor.evaluate(self.WINDOW, threshold)
+            for obj in database:
+                chain = database.chain(obj.chain_id)
+                p = ob_exists_probability(
+                    chain, obj.initial.distribution, self.WINDOW
+                )
+                assert (obj.object_id in answer.accepted) == (
+                    p >= threshold
+                )
+
+    def test_clusters_formed(self):
+        database = build_clustered_database()
+        processor = ClusteredThresholdProcessor(database, radius=0.15)
+        # two chain families -> two clusters (radius separates them)
+        assert len(processor.clusters) == 2
+
+    def test_some_clusters_decided_without_refinement(self):
+        """An extreme threshold lets bounds reject whole clusters."""
+        database = build_clustered_database(seed=4)
+        processor = ClusteredThresholdProcessor(database, radius=0.15)
+        answer = processor.evaluate(self.WINDOW, threshold=0.999)
+        assert answer.clusters_decided >= 1
+        assert answer.accepted == ()
+
+    def test_refined_probabilities_are_exact(self):
+        database = build_clustered_database(seed=5)
+        processor = ClusteredThresholdProcessor(database, radius=0.15)
+        answer = processor.evaluate(self.WINDOW, threshold=0.3)
+        for object_id, probability in answer.probabilities.items():
+            obj = database.get(object_id)
+            chain = database.chain(obj.chain_id)
+            assert probability == pytest.approx(
+                ob_exists_probability(
+                    chain, obj.initial.distribution, self.WINDOW
+                )
+            )
+
+    def test_threshold_validation(self):
+        database = build_clustered_database()
+        processor = ClusteredThresholdProcessor(database)
+        with pytest.raises(QueryError):
+            processor.evaluate(self.WINDOW, threshold=0.0)
+        with pytest.raises(QueryError):
+            processor.evaluate(self.WINDOW, threshold=1.5)
+
+    def test_window_validation(self):
+        database = build_clustered_database()
+        processor = ClusteredThresholdProcessor(database)
+        bad = SpatioTemporalWindow(frozenset({99}), frozenset({1}))
+        with pytest.raises(QueryError):
+            processor.evaluate(bad, threshold=0.5)

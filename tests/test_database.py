@@ -1,0 +1,156 @@
+"""Tests for UncertainObject and TrajectoryDatabase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LineStateSpace,
+    MarkovChain,
+    Observation,
+    ObservationSet,
+    StateDistribution,
+    TrajectoryDatabase,
+    UncertainObject,
+)
+from repro.core.errors import ValidationError
+
+from conftest import random_chain
+
+import numpy as np
+
+
+def small_chain() -> MarkovChain:
+    return MarkovChain([[0.5, 0.5, 0.0], [0.0, 0.5, 0.5], [1.0, 0.0, 0.0]])
+
+
+class TestUncertainObject:
+    def test_at_state(self):
+        obj = UncertainObject.at_state("o1", 5, 3)
+        assert obj.initial.time == 0
+        assert obj.initial.distribution.probability(3) == 1.0
+        assert not obj.has_multiple_observations()
+
+    def test_with_distribution(self):
+        dist = StateDistribution.uniform(4, [0, 1])
+        obj = UncertainObject.with_distribution("o2", dist, time=2)
+        assert obj.initial.time == 2
+        assert obj.n_states == 4
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertainObject.at_state("", 3, 0)
+
+    def test_multiple_observations_flag(self):
+        observations = ObservationSet.of(
+            Observation.precise(0, 3, 0),
+            Observation.precise(5, 3, 2),
+        )
+        obj = UncertainObject("o3", observations)
+        assert obj.has_multiple_observations()
+
+
+class TestTrajectoryDatabase:
+    def test_with_chain(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        assert database.n_states == 3
+        assert database.chain_ids == ["default"]
+
+    def test_state_space_size_check(self):
+        with pytest.raises(ValidationError):
+            TrajectoryDatabase(5, state_space=LineStateSpace(4))
+
+    def test_nonpositive_states_rejected(self):
+        with pytest.raises(ValidationError):
+            TrajectoryDatabase(0)
+
+    def test_register_chain_size_check(self):
+        database = TrajectoryDatabase(4)
+        with pytest.raises(ValidationError):
+            database.register_chain("default", small_chain())
+
+    def test_unknown_chain_lookup(self):
+        database = TrajectoryDatabase(3)
+        with pytest.raises(ValidationError):
+            database.chain("missing")
+
+    def test_add_and_get(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        obj = UncertainObject.at_state("a", 3, 0)
+        database.add(obj)
+        assert database.get("a") is obj
+        assert "a" in database
+        assert len(database) == 1
+
+    def test_duplicate_id_rejected(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        database.add(UncertainObject.at_state("a", 3, 0))
+        with pytest.raises(ValidationError):
+            database.add(UncertainObject.at_state("a", 3, 1))
+
+    def test_unknown_chain_id_rejected(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        obj = UncertainObject.at_state("a", 3, 0, chain_id="bus")
+        with pytest.raises(ValidationError):
+            database.add(obj)
+
+    def test_wrong_state_count_rejected(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        with pytest.raises(ValidationError):
+            database.add(UncertainObject.at_state("a", 4, 0))
+
+    def test_remove(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        database.add(UncertainObject.at_state("a", 3, 0))
+        removed = database.remove("a")
+        assert removed.object_id == "a"
+        assert "a" not in database
+
+    def test_get_missing(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        with pytest.raises(ValidationError):
+            database.get("nope")
+
+    def test_add_all_and_iteration(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        objects = [
+            UncertainObject.at_state(f"o{i}", 3, i % 3) for i in range(5)
+        ]
+        database.add_all(objects)
+        assert [obj.object_id for obj in database] == [
+            f"o{i}" for i in range(5)
+        ]
+        assert database.object_ids == [f"o{i}" for i in range(5)]
+
+    def test_objects_by_chain(self):
+        rng = np.random.default_rng(0)
+        database = TrajectoryDatabase.with_chain(small_chain())
+        database.register_chain("bus", random_chain(3, rng))
+        database.add(UncertainObject.at_state("car1", 3, 0))
+        database.add(
+            UncertainObject.at_state("bus1", 3, 1, chain_id="bus")
+        )
+        database.add(
+            UncertainObject.at_state("bus2", 3, 2, chain_id="bus")
+        )
+        groups = database.objects_by_chain()
+        assert {k: len(v) for k, v in groups.items()} == {
+            "default": 1,
+            "bus": 2,
+        }
+
+    def test_initial_distributions_filter(self):
+        rng = np.random.default_rng(1)
+        database = TrajectoryDatabase.with_chain(small_chain())
+        database.register_chain("bus", random_chain(3, rng))
+        database.add(UncertainObject.at_state("a", 3, 0))
+        database.add(UncertainObject.at_state("b", 3, 1, chain_id="bus"))
+        assert [
+            object_id
+            for object_id, _ in database.initial_distributions("bus")
+        ] == ["b"]
+        assert len(database.initial_distributions()) == 2
+
+    def test_repr(self):
+        database = TrajectoryDatabase.with_chain(small_chain())
+        assert "n_states=3" in repr(database)

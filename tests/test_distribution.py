@@ -1,0 +1,213 @@
+"""Tests for StateDistribution, including Lemma 1 fusion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import StateDistribution
+from repro.core.errors import (
+    DimensionMismatchError,
+    InfeasibleEvidenceError,
+    ValidationError,
+)
+
+
+class TestConstruction:
+    def test_point(self):
+        dist = StateDistribution.point(4, 2)
+        assert dist.probability(2) == 1.0
+        assert dist.support() == (2,)
+
+    def test_point_out_of_range(self):
+        with pytest.raises(ValidationError):
+            StateDistribution.point(3, 3)
+
+    def test_uniform_over_support(self):
+        dist = StateDistribution.uniform(5, [1, 3])
+        assert dist.probability(1) == pytest.approx(0.5)
+        assert dist.probability(3) == pytest.approx(0.5)
+        assert dist.probability(0) == 0.0
+
+    def test_uniform_over_everything(self):
+        dist = StateDistribution.uniform(4)
+        assert dist.vector == pytest.approx([0.25] * 4)
+
+    def test_uniform_bad_state(self):
+        with pytest.raises(ValidationError):
+            StateDistribution.uniform(3, [5])
+
+    def test_from_dict_normalizes(self):
+        dist = StateDistribution.from_dict(
+            3, {0: 2.0, 2: 2.0}, normalize=True
+        )
+        assert dist.probability(0) == pytest.approx(0.5)
+
+    def test_from_dict_accumulates_duplicate_free_weights(self):
+        dist = StateDistribution.from_dict(2, {0: 0.25, 1: 0.75})
+        assert dist.probability(1) == pytest.approx(0.75)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValidationError):
+            StateDistribution([0.5, 0.2])
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValidationError):
+            StateDistribution([1.5, -0.5])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValidationError):
+            StateDistribution([[0.5, 0.5]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            StateDistribution([])
+
+    def test_zero_mass_normalize_rejected(self):
+        with pytest.raises(InfeasibleEvidenceError):
+            StateDistribution([0.0, 0.0], normalize=True)
+
+    def test_vector_is_read_only(self):
+        dist = StateDistribution.point(2, 0)
+        with pytest.raises(ValueError):
+            dist.vector[0] = 0.5
+
+
+class TestInspection:
+    def test_probability_of_region(self):
+        dist = StateDistribution([0.2, 0.3, 0.5])
+        assert dist.probability_of([0, 2]) == pytest.approx(0.7)
+        assert dist.probability_of([]) == 0.0
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValidationError):
+            StateDistribution.point(2, 0).probability(9)
+
+    def test_support_and_size(self):
+        dist = StateDistribution([0.0, 0.4, 0.0, 0.6])
+        assert dist.support() == (1, 3)
+        assert dist.support_size() == 2
+
+    def test_mode(self):
+        assert StateDistribution([0.2, 0.5, 0.3]).mode() == 1
+
+    def test_entropy_point_is_zero(self):
+        assert StateDistribution.point(5, 1).entropy() == 0.0
+
+    def test_entropy_uniform(self):
+        dist = StateDistribution.uniform(8)
+        assert dist.entropy() == pytest.approx(3.0)
+
+    def test_items_and_to_dict(self):
+        dist = StateDistribution([0.0, 1.0])
+        assert dict(dist.items()) == {1: 1.0}
+        assert dist.to_dict() == {1: 1.0}
+
+    def test_repr_truncates(self):
+        dist = StateDistribution.uniform(20)
+        assert "..." in repr(dist)
+
+
+class TestFusion:
+    """Lemma 1: independent observations fuse by product + normalise."""
+
+    def test_paper_style_fusion(self):
+        # prior (0, 0.16, 0.04, 0.4, 0, 0.4) fused with obs
+        # (0, 0.5, 0, 0, 0.5, 0) must give a point mass (paper Sec. VI)
+        prior = StateDistribution(
+            [0.0, 0.16, 0.04, 0.4, 0.0, 0.4], normalize=True
+        )
+        observation = StateDistribution(
+            [0.0, 0.5, 0.0, 0.0, 0.5, 0.0]
+        )
+        fused = prior.fuse(observation)
+        assert fused.probability(1) == pytest.approx(1.0)
+
+    def test_fusion_with_uniform_is_identity(self):
+        prior = StateDistribution([0.2, 0.3, 0.5])
+        uniform = StateDistribution.uniform(3)
+        assert prior.fuse(uniform).allclose(prior)
+
+    def test_fusion_commutative(self):
+        a = StateDistribution([0.5, 0.25, 0.25])
+        b = StateDistribution([0.1, 0.6, 0.3])
+        assert a.fuse(b).allclose(b.fuse(a))
+
+    def test_fusion_multiple_observations(self):
+        a = StateDistribution([0.5, 0.5, 0.0])
+        b = StateDistribution([0.0, 0.5, 0.5])
+        c = StateDistribution.uniform(3)
+        fused = a.fuse(b, c)
+        assert fused.probability(1) == pytest.approx(1.0)
+
+    def test_contradictory_observations(self):
+        a = StateDistribution.point(3, 0)
+        b = StateDistribution.point(3, 2)
+        with pytest.raises(InfeasibleEvidenceError):
+            a.fuse(b)
+
+    def test_fusion_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            StateDistribution.point(3, 0).fuse(
+                StateDistribution.point(4, 0)
+            )
+
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=8),
+        st.lists(st.floats(0.01, 1.0), min_size=2, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fusion_matches_bayes_rule(self, prior_w, likelihood_w):
+        n = min(len(prior_w), len(likelihood_w))
+        prior = StateDistribution(np.asarray(prior_w[:n]), normalize=True)
+        likelihood = StateDistribution(
+            np.asarray(likelihood_w[:n]), normalize=True
+        )
+        fused = prior.fuse(likelihood)
+        expected = prior.vector * likelihood.vector
+        expected /= expected.sum()
+        assert np.allclose(fused.vector, expected)
+
+
+class TestOperations:
+    def test_restrict(self):
+        dist = StateDistribution([0.2, 0.3, 0.5])
+        restricted = dist.restrict([1, 2])
+        assert restricted.probability(0) == 0.0
+        assert restricted.probability(2) == pytest.approx(0.5 / 0.8)
+
+    def test_restrict_to_zero_mass(self):
+        dist = StateDistribution([1.0, 0.0])
+        with pytest.raises(InfeasibleEvidenceError):
+            dist.restrict([1])
+
+    def test_restrict_out_of_range(self):
+        with pytest.raises(ValidationError):
+            StateDistribution.point(2, 0).restrict([5])
+
+    def test_total_variation_distance(self):
+        a = StateDistribution([1.0, 0.0])
+        b = StateDistribution([0.0, 1.0])
+        assert a.total_variation_distance(b) == pytest.approx(1.0)
+        assert a.total_variation_distance(a) == 0.0
+
+    def test_total_variation_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            StateDistribution.point(2, 0).total_variation_distance(
+                StateDistribution.point(3, 0)
+            )
+
+    def test_sample_respects_support(self):
+        rng = np.random.default_rng(0)
+        dist = StateDistribution([0.0, 0.5, 0.5, 0.0])
+        samples = {dist.sample(rng) for _ in range(50)}
+        assert samples <= {1, 2}
+
+    def test_equality_and_hash(self):
+        a = StateDistribution([0.5, 0.5])
+        b = StateDistribution([0.5, 0.5])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "something else"

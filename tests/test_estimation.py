@@ -1,0 +1,164 @@
+"""Tests for chain estimation from historical trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChainEstimator,
+    MarkovChain,
+    StateDistribution,
+    Trajectory,
+    estimate_chain,
+    sample_trajectory,
+)
+from repro.core.errors import ValidationError
+
+from conftest import random_chain
+
+
+class TestChainEstimator:
+    def test_counts_accumulate(self):
+        estimator = ChainEstimator(3)
+        estimator.add_transition(0, 1)
+        estimator.add_transition(0, 1)
+        estimator.add_transition(0, 2, weight=0.5)
+        assert estimator.count(0, 1) == 2.0
+        assert estimator.count(0, 2) == 0.5
+        assert estimator.total_transitions == 2.5
+
+    def test_add_trajectory(self):
+        estimator = ChainEstimator(4)
+        estimator.add_trajectory(Trajectory((0, 1, 2, 1)))
+        assert estimator.count(0, 1) == 1.0
+        assert estimator.count(1, 2) == 1.0
+        assert estimator.count(2, 1) == 1.0
+
+    def test_mle_probabilities(self):
+        estimator = ChainEstimator(2)
+        for _ in range(3):
+            estimator.add_transition(0, 0)
+        estimator.add_transition(0, 1)
+        estimator.add_transition(1, 0)
+        chain = estimator.to_chain()
+        assert chain.transition_probability(0, 0) == pytest.approx(0.75)
+        assert chain.transition_probability(0, 1) == pytest.approx(0.25)
+        assert chain.transition_probability(1, 0) == 1.0
+
+    def test_unobserved_source_becomes_absorbing(self):
+        estimator = ChainEstimator(3)
+        estimator.add_transition(0, 1)
+        chain = estimator.to_chain()
+        assert chain.is_absorbing_state(2)
+
+    def test_smoothing_without_support_spreads_over_observed(self):
+        estimator = ChainEstimator(3)
+        estimator.add_transition(0, 1)
+        estimator.add_transition(0, 2)
+        estimator.add_transition(0, 1)
+        chain = estimator.to_chain(smoothing=1.0)
+        # counts (2, 1) + smoothing (1, 1) -> (3/5, 2/5)
+        assert chain.transition_probability(0, 1) == pytest.approx(0.6)
+        assert chain.transition_probability(0, 2) == pytest.approx(0.4)
+        # smoothing never invents unobserved successors
+        assert chain.transition_probability(0, 0) == 0.0
+
+    def test_smoothing_with_support_covers_allowed_set(self):
+        support = {0: [0, 1, 2], 1: [0], 2: [2]}
+        estimator = ChainEstimator(3, support=support)
+        estimator.add_transition(0, 1)
+        chain = estimator.to_chain(smoothing=1.0)
+        # counts (0,1,0) + smoothing 1 over allowed -> (1/4, 2/4, 1/4)
+        assert chain.transition_probability(0, 0) == pytest.approx(0.25)
+        assert chain.transition_probability(0, 1) == pytest.approx(0.5)
+        assert chain.transition_probability(0, 2) == pytest.approx(0.25)
+        # unobserved-but-supported rows get the uniform smoothed row
+        assert chain.transition_probability(1, 0) == 1.0
+
+    def test_support_violation_rejected(self):
+        estimator = ChainEstimator(3, support={0: [1]})
+        with pytest.raises(ValidationError):
+            estimator.add_transition(0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ChainEstimator(0)
+        with pytest.raises(ValidationError):
+            ChainEstimator(3, support={0: []})
+        with pytest.raises(ValidationError):
+            ChainEstimator(3, support={0: [9]})
+        estimator = ChainEstimator(3)
+        with pytest.raises(ValidationError):
+            estimator.add_transition(0, 9)
+        with pytest.raises(ValidationError):
+            estimator.add_transition(0, 1, weight=0.0)
+        estimator.add_transition(0, 1)
+        with pytest.raises(ValidationError):
+            estimator.to_chain(smoothing=-1.0)
+
+    def test_estimated_chain_is_stochastic(self):
+        rng = np.random.default_rng(0)
+        estimator = ChainEstimator(6)
+        for _ in range(50):
+            states = rng.integers(0, 6, size=10)
+            estimator.add_trajectory(Trajectory(tuple(states)))
+        estimator.to_chain().validate()
+        estimator.to_chain(smoothing=0.5).validate()
+
+
+class TestEstimationConvergence:
+    def test_recovers_true_chain_from_samples(self):
+        """MLE converges to the generating chain (consistency)."""
+        rng = np.random.default_rng(1)
+        true_chain = random_chain(4, rng, density=0.7)
+        initial = StateDistribution.uniform(4)
+        trajectories = [
+            sample_trajectory(true_chain, initial, horizon=30, rng=rng)
+            for _ in range(400)
+        ]
+        estimated = estimate_chain(trajectories, 4)
+        error = np.abs(
+            estimated.to_dense() - true_chain.to_dense()
+        ).max()
+        assert error < 0.05
+
+    def test_error_shrinks_with_more_data(self):
+        rng = np.random.default_rng(2)
+        true_chain = random_chain(3, rng, density=1.0)
+        initial = StateDistribution.uniform(3)
+
+        def estimation_error(n_trajectories, seed):
+            local = np.random.default_rng(seed)
+            trajectories = [
+                sample_trajectory(true_chain, initial, 20, local)
+                for _ in range(n_trajectories)
+            ]
+            estimated = estimate_chain(trajectories, 3)
+            return np.abs(
+                estimated.to_dense() - true_chain.to_dense()
+            ).max()
+
+        small = np.mean([estimation_error(10, s) for s in range(5)])
+        large = np.mean([estimation_error(300, s) for s in range(5)])
+        assert large < small
+
+    def test_estimated_chain_answers_queries(self):
+        """End to end: learn from logs, then query the learned model."""
+        from repro import (
+            SpatioTemporalWindow,
+            ob_exists_probability,
+        )
+
+        rng = np.random.default_rng(3)
+        true_chain = random_chain(5, rng, density=0.5)
+        initial = StateDistribution.point(5, 0)
+        trajectories = [
+            sample_trajectory(true_chain, initial, 15, rng)
+            for _ in range(500)
+        ]
+        learned = estimate_chain(trajectories, 5, smoothing=0.1)
+        window = SpatioTemporalWindow(frozenset({3}), frozenset({2, 3}))
+        p_true = ob_exists_probability(true_chain, initial, window)
+        p_learned = ob_exists_probability(learned, initial, window)
+        assert p_learned == pytest.approx(p_true, abs=0.1)

@@ -1,0 +1,121 @@
+"""Tests for occupancy forecasting and congestion reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MarkovChain,
+    StateDistribution,
+    congestion_report,
+    expected_occupancy,
+)
+from repro.core.errors import ValidationError
+
+from conftest import random_chain, random_distribution
+
+
+class TestExpectedOccupancy:
+    def test_shape_and_time_zero(self, paper_chain):
+        initials = [
+            StateDistribution.point(3, 0),
+            StateDistribution.point(3, 1),
+        ]
+        occupancy = expected_occupancy(paper_chain, initials, horizon=4)
+        assert occupancy.shape == (5, 3)
+        assert occupancy[0] == pytest.approx([1.0, 1.0, 0.0])
+
+    def test_total_count_preserved(self):
+        rng = np.random.default_rng(1)
+        chain = random_chain(6, rng)
+        initials = [random_distribution(6, rng) for _ in range(7)]
+        occupancy = expected_occupancy(chain, initials, horizon=5)
+        assert np.allclose(occupancy.sum(axis=1), 7.0)
+
+    def test_linearity_in_objects(self, paper_chain):
+        a = StateDistribution.point(3, 0)
+        b = StateDistribution.point(3, 2)
+        combined = expected_occupancy(paper_chain, [a, b], horizon=3)
+        separate = expected_occupancy(
+            paper_chain, [a], horizon=3
+        ) + expected_occupancy(paper_chain, [b], horizon=3)
+        assert np.allclose(combined, separate)
+
+    def test_matches_per_object_marginals(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        occupancy = expected_occupancy(paper_chain, [start], horizon=2)
+        assert occupancy[2] == pytest.approx([0.0, 0.32, 0.68])
+
+    def test_validation(self, paper_chain):
+        with pytest.raises(ValidationError):
+            expected_occupancy(paper_chain, [], horizon=1)
+        with pytest.raises(ValidationError):
+            expected_occupancy(
+                paper_chain, [StateDistribution.point(3, 0)], horizon=-1
+            )
+        with pytest.raises(ValidationError):
+            expected_occupancy(
+                paper_chain, [StateDistribution.point(4, 0)], horizon=1
+            )
+
+
+class TestCongestionReport:
+    def test_absorbing_sink_becomes_congested(self):
+        # everything flows into state 2 and stays
+        chain = MarkovChain(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        initials = [StateDistribution.point(3, i % 2) for i in range(10)]
+        events = congestion_report(
+            chain, initials, horizon=3, threshold=9.5
+        )
+        assert events
+        assert all(event.state == 2 for event in events)
+        assert events[0].expected_count == pytest.approx(10.0)
+
+    def test_sorted_by_expected_count(self, paper_chain):
+        initials = [StateDistribution.uniform(3) for _ in range(6)]
+        events = congestion_report(
+            paper_chain, initials, horizon=4, threshold=0.0
+        )
+        counts = [event.expected_count for event in events]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_states_of_interest_filter(self):
+        chain = MarkovChain(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        initials = [StateDistribution.point(3, 0)] * 5
+        events = congestion_report(
+            chain, initials, horizon=2, threshold=1.0,
+            states_of_interest=[0, 1],
+        )
+        assert all(event.state in (0, 1) for event in events)
+
+    def test_threshold_validation(self, paper_chain):
+        with pytest.raises(ValidationError):
+            congestion_report(
+                paper_chain,
+                [StateDistribution.point(3, 0)],
+                horizon=1,
+                threshold=-0.5,
+            )
+
+    def test_state_of_interest_validation(self, paper_chain):
+        with pytest.raises(ValidationError):
+            congestion_report(
+                paper_chain,
+                [StateDistribution.point(3, 0)],
+                horizon=1,
+                threshold=0.1,
+                states_of_interest=[9],
+            )

@@ -1,0 +1,179 @@
+"""Tests for interval Markov chains and cluster bounds (Section V-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    IntervalMarkovChain,
+    MarkovChain,
+    SpatioTemporalWindow,
+    StateDistribution,
+    bound_exists_probability,
+    ob_exists_probability,
+)
+from repro.core.errors import QueryError, ValidationError
+
+from conftest import random_chain, random_distribution, random_window
+
+
+def perturbed_chain(
+    base: MarkovChain, rng: np.random.Generator, epsilon: float
+) -> MarkovChain:
+    """A chain close to ``base``: same sparsity, jittered rows."""
+    dense = base.to_dense()
+    n = base.n_states
+    for i in range(n):
+        row = dense[i]
+        mask = row > 0
+        noise = rng.uniform(-epsilon, epsilon, size=n) * mask
+        row = np.clip(row + noise, 1e-6, None) * mask
+        dense[i] = row / row.sum()
+    return MarkovChain(dense)
+
+
+class TestIntervalChain:
+    def test_from_single_chain_is_degenerate(self, paper_chain):
+        interval = IntervalMarkovChain.from_chains([paper_chain])
+        assert interval.width() == 0.0
+        assert interval.contains(paper_chain)
+
+    def test_from_chains_encloses_all(self):
+        rng = np.random.default_rng(0)
+        base = random_chain(5, rng)
+        chains = [base] + [
+            perturbed_chain(base, rng, 0.05) for _ in range(4)
+        ]
+        interval = IntervalMarkovChain.from_chains(chains)
+        for chain in chains:
+            assert interval.contains(chain)
+        assert interval.width() <= 0.2
+
+    def test_contains_rejects_outsider(self):
+        rng = np.random.default_rng(1)
+        base = random_chain(4, rng, density=1.0)
+        interval = IntervalMarkovChain.from_chains([base])
+        other = random_chain(4, rng, density=1.0)
+        assert not interval.contains(other)
+
+    def test_contains_rejects_wrong_size(self, paper_chain):
+        interval = IntervalMarkovChain.from_chains([paper_chain])
+        assert not interval.contains(MarkovChain.identity(4))
+
+    def test_merge(self):
+        rng = np.random.default_rng(2)
+        a = random_chain(4, rng)
+        b = random_chain(4, rng)
+        merged = IntervalMarkovChain.from_chains([a]).merge(
+            IntervalMarkovChain.from_chains([b])
+        )
+        assert merged.contains(a)
+        assert merged.contains(b)
+
+    def test_merge_size_mismatch(self, paper_chain):
+        a = IntervalMarkovChain.from_chains([paper_chain])
+        b = IntervalMarkovChain.from_chains([MarkovChain.identity(4)])
+        with pytest.raises(ValidationError):
+            a.merge(b)
+
+    def test_empty_chain_list_rejected(self):
+        with pytest.raises(ValidationError):
+            IntervalMarkovChain.from_chains([])
+
+    def test_mixed_sizes_rejected(self, paper_chain):
+        with pytest.raises(ValidationError):
+            IntervalMarkovChain.from_chains(
+                [paper_chain, MarkovChain.identity(4)]
+            )
+
+    def test_inverted_bounds_rejected(self, paper_chain):
+        with pytest.raises(ValidationError):
+            IntervalMarkovChain(
+                paper_chain.matrix * 2.0, paper_chain.matrix
+            )
+
+
+class TestExistsBounds:
+    def test_degenerate_interval_is_exact(self, paper_chain,
+                                          paper_window, paper_start):
+        interval = IntervalMarkovChain.from_chains([paper_chain])
+        low, high = bound_exists_probability(
+            interval, paper_start, paper_window
+        )
+        assert low == pytest.approx(0.864, abs=1e-9)
+        assert high == pytest.approx(0.864, abs=1e-9)
+
+    def test_bounds_enclose_every_member_chain(self):
+        """Soundness: every member's exact value lies in the bounds."""
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            n = int(rng.integers(3, 6))
+            base = random_chain(n, rng)
+            chains = [base] + [
+                perturbed_chain(base, rng, 0.08) for _ in range(3)
+            ]
+            interval = IntervalMarkovChain.from_chains(chains)
+            initial = random_distribution(n, rng)
+            window = random_window(n, rng, max_time=4)
+            low, high = bound_exists_probability(
+                interval, initial, window
+            )
+            assert 0.0 <= low <= high <= 1.0
+            for chain in chains:
+                exact = ob_exists_probability(chain, initial, window)
+                assert low - 1e-9 <= exact <= high + 1e-9
+
+    def test_start_time_inside_window(self, paper_chain):
+        interval = IntervalMarkovChain.from_chains([paper_chain])
+        window = SpatioTemporalWindow(
+            frozenset({1}), frozenset({0, 2})
+        )
+        initial = StateDistribution.point(3, 1)
+        low, high = bound_exists_probability(interval, initial, window)
+        exact = ob_exists_probability(paper_chain, initial, window)
+        assert low == pytest.approx(exact, abs=1e-9)
+        assert high == pytest.approx(exact, abs=1e-9)
+
+    def test_validation(self, paper_chain, paper_window):
+        interval = IntervalMarkovChain.from_chains([paper_chain])
+        with pytest.raises(ValidationError):
+            bound_exists_probability(
+                interval, StateDistribution.point(5, 0), paper_window
+            )
+        with pytest.raises(QueryError):
+            bound_exists_probability(
+                interval,
+                StateDistribution.point(3, 0),
+                paper_window,
+                start_time=5,
+            )
+        out_of_range = SpatioTemporalWindow(
+            frozenset({9}), frozenset({1})
+        )
+        with pytest.raises(QueryError):
+            bound_exists_probability(
+                interval, StateDistribution.point(3, 0), out_of_range
+            )
+
+    def test_wider_interval_gives_looser_bounds(self):
+        rng = np.random.default_rng(4)
+        base = random_chain(4, rng)
+        tight = IntervalMarkovChain.from_chains(
+            [base, perturbed_chain(base, rng, 0.02)]
+        )
+        loose = tight.merge(
+            IntervalMarkovChain.from_chains(
+                [perturbed_chain(base, rng, 0.2)]
+            )
+        )
+        initial = random_distribution(4, rng)
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({2, 3}))
+        tight_low, tight_high = bound_exists_probability(
+            tight, initial, window
+        )
+        loose_low, loose_high = bound_exists_probability(
+            loose, initial, window
+        )
+        assert loose_low <= tight_low + 1e-12
+        assert loose_high >= tight_high - 1e-12

@@ -1,0 +1,264 @@
+"""Unit and property tests for the pure-Python CSR matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DimensionMismatchError, ValidationError
+from repro.linalg.sparse import CSRMatrix
+
+
+def dense_strategy(max_dim: int = 6):
+    """Random small dense matrices as nested lists."""
+    return st.integers(1, max_dim).flatmap(
+        lambda rows: st.integers(1, max_dim).flatmap(
+            lambda cols: st.lists(
+                st.lists(
+                    st.floats(-10, 10, allow_nan=False).map(
+                        lambda x: 0.0 if abs(x) < 1.0 else x
+                    ),
+                    min_size=cols,
+                    max_size=cols,
+                ),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self):
+        dense = [[1.0, 0.0, 2.0], [0.0, 0.0, 0.0], [3.0, 4.0, 0.0]]
+        matrix = CSRMatrix.from_dense(dense)
+        assert matrix.to_dense() == dense
+        assert matrix.nnz == 4
+        assert matrix.shape == (3, 3)
+
+    def test_from_dense_ragged_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            CSRMatrix.from_dense([[1.0, 2.0], [1.0]])
+
+    def test_from_coo_sums_duplicates(self):
+        matrix = CSRMatrix.from_coo(
+            2, 2, [(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]
+        )
+        assert matrix.get(0, 0) == 3.0
+        assert matrix.get(1, 1) == 5.0
+
+    def test_from_coo_drops_cancelling_entries(self):
+        matrix = CSRMatrix.from_coo(1, 1, [(0, 0, 1.0), (0, 0, -1.0)])
+        assert matrix.nnz == 0
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix.from_coo(2, 2, [(2, 0, 1.0)])
+
+    def test_from_dict(self):
+        matrix = CSRMatrix.from_dict(2, 3, {(0, 2): 7.0, (1, 0): -1.0})
+        assert matrix.get(0, 2) == 7.0
+        assert matrix.get(1, 0) == -1.0
+        assert matrix.get(0, 0) == 0.0
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(4)
+        assert eye.to_dense() == np.eye(4).tolist()
+
+    def test_zeros(self):
+        zeros = CSRMatrix.zeros(2, 5)
+        assert zeros.nnz == 0
+        assert zeros.shape == (2, 5)
+
+    def test_empty_matrix_row_access_raises(self):
+        matrix = CSRMatrix.zeros(2, 2)
+        with pytest.raises(ValidationError):
+            list(matrix.row(5))
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(2, 2, [0, 0], [], [])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(1, 1, [1, 1], [], [])
+
+    def test_indptr_must_not_decrease(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(2, 2, [0, 2, 1], [0, 1], [1.0, 1.0])
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(1, 2, [0, 1], [5], [1.0])
+
+    def test_columns_must_increase_within_row(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(1, 3, [0, 2], [1, 1], [1.0, 2.0])
+
+    def test_data_indices_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(1, 2, [0, 1], [0, 1], [1.0])
+
+
+class TestAlgebra:
+    def setup_method(self):
+        self.dense = [
+            [0.0, 0.0, 1.0],
+            [0.6, 0.0, 0.4],
+            [0.0, 0.8, 0.2],
+        ]
+        self.matrix = CSRMatrix.from_dense(self.dense)
+
+    def test_matvec(self):
+        x = [1.0, 2.0, 3.0]
+        expected = (np.array(self.dense) @ np.array(x)).tolist()
+        assert self.matrix.matvec(x) == pytest.approx(expected)
+
+    def test_vecmat(self):
+        x = [1.0, 2.0, 3.0]
+        expected = (np.array(x) @ np.array(self.dense)).tolist()
+        assert self.matrix.vecmat(x) == pytest.approx(expected)
+
+    def test_vecmat_skips_zero_entries(self):
+        assert self.matrix.vecmat([0.0, 1.0, 0.0]) == pytest.approx(
+            [0.6, 0.0, 0.4]
+        )
+
+    def test_matvec_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            self.matrix.matvec([1.0, 2.0])
+
+    def test_vecmat_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            self.matrix.vecmat([1.0])
+
+    def test_transpose(self):
+        transposed = self.matrix.transpose()
+        assert transposed.to_dense() == np.array(self.dense).T.tolist()
+
+    def test_transpose_involution(self):
+        assert self.matrix.transpose().transpose() == self.matrix
+
+    def test_matmul(self):
+        squared = self.matrix.matmul(self.matrix)
+        expected = (np.array(self.dense) @ np.array(self.dense)).tolist()
+        assert np.allclose(squared.to_dense(), expected)
+
+    def test_matmul_operator(self):
+        assert (self.matrix @ self.matrix).allclose(
+            self.matrix.matmul(self.matrix)
+        )
+
+    def test_matmul_dimension_check(self):
+        other = CSRMatrix.zeros(2, 3)
+        with pytest.raises(DimensionMismatchError):
+            self.matrix.matmul(other)
+
+    def test_scale(self):
+        doubled = self.matrix.scale(2.0)
+        assert np.allclose(
+            doubled.to_dense(), (2 * np.array(self.dense)).tolist()
+        )
+
+    def test_add(self):
+        total = self.matrix.add(self.matrix)
+        assert total.allclose(self.matrix.scale(2.0))
+
+    def test_add_shape_check(self):
+        with pytest.raises(DimensionMismatchError):
+            self.matrix.add(CSRMatrix.zeros(2, 2))
+
+    def test_row_sums(self):
+        assert self.matrix.row_sums() == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_select_columns(self):
+        kept = self.matrix.select_columns([0, 1])
+        dense = kept.to_dense()
+        assert all(row[2] == 0.0 for row in dense)
+        assert dense[1][0] == 0.6
+        assert dense[2][1] == 0.8
+
+    def test_drop_columns_complements_select(self):
+        dropped = self.matrix.drop_columns([2])
+        selected = self.matrix.select_columns([0, 1])
+        assert dropped == selected
+
+    def test_select_columns_out_of_range(self):
+        with pytest.raises(ValidationError):
+            self.matrix.select_columns([7])
+
+
+class TestComparison:
+    def test_allclose_different_sparsity(self):
+        a = CSRMatrix.from_dense([[1.0, 0.0], [0.0, 1.0]])
+        b = CSRMatrix.from_coo(
+            2, 2, [(0, 0, 1.0), (0, 1, 1e-15), (1, 1, 1.0)]
+        )
+        assert a.allclose(b, tol=1e-12)
+        assert not a.allclose(b, tol=1e-16)
+
+    def test_eq_and_hash(self):
+        a = CSRMatrix.from_dense([[1.0, 2.0]])
+        b = CSRMatrix.from_dense([[1.0, 2.0]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_eq_other_type(self):
+        assert CSRMatrix.identity(1) != "not a matrix"
+
+    def test_repr(self):
+        assert "nnz=1" in repr(CSRMatrix.identity(1))
+
+
+class TestAgainstNumpyProperties:
+    """The pure CSR kernels must agree with numpy on random inputs."""
+
+    @given(dense_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, dense):
+        matrix = CSRMatrix.from_dense(dense)
+        assert np.allclose(matrix.to_dense(), dense)
+
+    @given(dense_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_matches_numpy(self, dense):
+        matrix = CSRMatrix.from_dense(dense)
+        x = np.arange(1.0, matrix.ncols + 1.0)
+        assert np.allclose(
+            matrix.matvec(list(x)), np.array(dense) @ x
+        )
+
+    @given(dense_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_vecmat_matches_numpy(self, dense):
+        matrix = CSRMatrix.from_dense(dense)
+        x = np.arange(1.0, matrix.nrows + 1.0)
+        assert np.allclose(
+            matrix.vecmat(list(x)), x @ np.array(dense)
+        )
+
+    @given(dense_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_matches_numpy(self, dense):
+        matrix = CSRMatrix.from_dense(dense)
+        assert np.allclose(
+            matrix.transpose().to_dense(), np.array(dense).T
+        )
+
+    @given(dense_strategy(max_dim=5))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_matches_numpy(self, dense):
+        matrix = CSRMatrix.from_dense(dense)
+        square = matrix.transpose().matmul(matrix)
+        expected = np.array(dense).T @ np.array(dense)
+        assert np.allclose(square.to_dense(), expected)
+
+    @given(dense_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_validate_accepts_all_constructed(self, dense):
+        matrix = CSRMatrix.from_dense(dense)
+        matrix.validate()  # must not raise

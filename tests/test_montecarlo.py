@@ -1,0 +1,175 @@
+"""Tests for the Monte-Carlo baseline (Section VIII-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MonteCarloResult,
+    MonteCarloSampler,
+    SpatioTemporalWindow,
+    StateDistribution,
+    ktimes_distribution,
+    mc_exists_probability,
+    mc_forall_probability,
+    mc_ktimes_distribution,
+    ob_exists_probability,
+    ob_forall_probability,
+)
+from repro.core.errors import QueryError, ValidationError
+
+from conftest import random_chain, random_distribution
+
+
+class TestResultContainer:
+    def test_standard_error_formula(self):
+        result = MonteCarloResult(estimate=0.5, n_samples=100)
+        # the paper: sigma = sqrt(p(1-p)/n) = 0.05 at p=0.5, n=100
+        assert result.standard_error == pytest.approx(0.05)
+
+    def test_standard_error_extremes(self):
+        assert MonteCarloResult(0.0, 100).standard_error == 0.0
+        assert MonteCarloResult(1.0, 100).standard_error == 0.0
+
+    def test_confidence_interval_clipped(self):
+        low, high = MonteCarloResult(0.99, 10).confidence_interval()
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestSampling:
+    def test_paths_shape(self, paper_chain):
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        paths = sampler.sample_paths(
+            StateDistribution.point(3, 1), horizon=5, n_samples=64
+        )
+        assert paths.shape == (64, 6)
+        assert (paths[:, 0] == 1).all()
+
+    def test_paths_follow_transitions(self, paper_chain):
+        sampler = MonteCarloSampler(paper_chain, seed=1)
+        paths = sampler.sample_paths(
+            StateDistribution.point(3, 0), horizon=4, n_samples=50
+        )
+        for path in paths:
+            for a, b in zip(path, path[1:]):
+                assert paper_chain.transition_probability(
+                    int(a), int(b)
+                ) > 0
+
+    def test_seed_determinism(self, paper_chain):
+        start = StateDistribution.uniform(3)
+        a = MonteCarloSampler(paper_chain, seed=7).sample_paths(
+            start, 5, 20
+        )
+        b = MonteCarloSampler(paper_chain, seed=7).sample_paths(
+            start, 5, 20
+        )
+        assert (a == b).all()
+
+    def test_invalid_args(self, paper_chain):
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        start = StateDistribution.point(3, 0)
+        with pytest.raises(ValidationError):
+            sampler.sample_paths(start, 5, 0)
+        with pytest.raises(ValidationError):
+            sampler.sample_paths(start, -1, 5)
+        with pytest.raises(ValidationError):
+            sampler.sample_paths(StateDistribution.point(4, 0), 5, 5)
+
+
+class TestConvergence:
+    """MC must converge to the exact matrix-based answers."""
+
+    def test_exists_converges(self, paper_chain, paper_window,
+                              paper_start):
+        exact = 0.864
+        result = mc_exists_probability(
+            paper_chain, paper_start, paper_window,
+            n_samples=40_000, seed=2,
+        )
+        assert result.estimate == pytest.approx(exact, abs=0.01)
+
+    def test_forall_converges(self):
+        rng = np.random.default_rng(3)
+        chain = random_chain(4, rng)
+        initial = random_distribution(4, rng)
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({1, 2})
+        )
+        exact = ob_forall_probability(chain, initial, window)
+        result = mc_forall_probability(
+            chain, initial, window, n_samples=40_000, seed=4
+        )
+        assert result.estimate == pytest.approx(exact, abs=0.01)
+
+    def test_ktimes_converges(self, paper_chain, paper_window,
+                              paper_start):
+        exact = ktimes_distribution(
+            paper_chain, paper_start, paper_window
+        )
+        estimate = mc_ktimes_distribution(
+            paper_chain, paper_start, paper_window,
+            n_samples=40_000, seed=5,
+        )
+        assert np.allclose(estimate, exact, atol=0.01)
+
+    def test_error_shrinks_with_samples(self, paper_chain, paper_window,
+                                        paper_start):
+        exact = 0.864
+        errors = []
+        for n_samples in (50, 5_000):
+            batch = [
+                abs(
+                    mc_exists_probability(
+                        paper_chain,
+                        paper_start,
+                        paper_window,
+                        n_samples=n_samples,
+                        seed=seed,
+                    ).estimate
+                    - exact
+                )
+                for seed in range(8)
+            ]
+            errors.append(float(np.mean(batch)))
+        assert errors[1] < errors[0]
+
+    def test_random_instances(self):
+        rng = np.random.default_rng(6)
+        for trial in range(5):
+            n = int(rng.integers(2, 5))
+            chain = random_chain(n, rng)
+            initial = random_distribution(n, rng)
+            window = SpatioTemporalWindow(
+                frozenset({0}), frozenset({1, 2, 3})
+            )
+            exact = ob_exists_probability(chain, initial, window)
+            result = mc_exists_probability(
+                chain, initial, window, n_samples=20_000, seed=trial
+            )
+            assert result.estimate == pytest.approx(exact, abs=0.02)
+
+
+class TestWindowChecks:
+    def test_query_before_start(self, paper_chain, paper_start):
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1}))
+        with pytest.raises(QueryError):
+            sampler.exists_probability(
+                paper_start, window, 10, start_time=3
+            )
+
+    def test_region_out_of_range(self, paper_chain, paper_start):
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        window = SpatioTemporalWindow(frozenset({9}), frozenset({1}))
+        with pytest.raises(QueryError):
+            sampler.exists_probability(paper_start, window, 10)
+
+    def test_start_time_in_window_counts_t0(self, paper_chain):
+        """When t=0 is a query time the initial state can already hit."""
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        start = StateDistribution.point(3, 0)
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({0}))
+        result = sampler.exists_probability(start, window, 100)
+        assert result.estimate == 1.0

@@ -1,0 +1,231 @@
+"""Tests for multiple-observation processing (Section VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MonteCarloSampler,
+    Observation,
+    ObservationSet,
+    PossibleWorldEnumerator,
+    SpatioTemporalWindow,
+    StateDistribution,
+    build_doubled_matrices,
+    ob_exists_probability,
+    ob_exists_probability_multi,
+)
+from repro.core.errors import (
+    InfeasibleEvidenceError,
+    QueryError,
+    ValidationError,
+)
+
+from conftest import random_chain, random_distribution
+
+
+def section6_setup(paper_chain_section6):
+    """The paper's Fig. 7 scenario.
+
+    Observed at s1 at t=0 and s2 at t=3; the query window covers
+    {s1, s2} x {1, 2} (the region the example's printed M+ redirects).
+    """
+    observations = ObservationSet.of(
+        Observation.precise(0, 3, 0),
+        Observation.precise(3, 3, 1),
+    )
+    window = SpatioTemporalWindow(frozenset({0, 1}), frozenset({1, 2}))
+    return observations, window
+
+
+class TestPaperSection6Example:
+    def test_posterior_excludes_window(self, paper_chain_section6):
+        observations, window = section6_setup(paper_chain_section6)
+        assert ob_exists_probability_multi(
+            paper_chain_section6, observations, window
+        ) == pytest.approx(0.0)
+
+    def test_intermediate_vector_at_t3(self, paper_chain_section6):
+        """The paper's P(o,3) = (0, 0.16, 0.04, 0.4, 0, 0.4) before fusion."""
+        matrices = build_doubled_matrices(paper_chain_section6, {0, 1})
+        vector = matrices.extend_initial(
+            np.array([1.0, 0.0, 0.0]), 0, frozenset({1, 2})
+        )
+        for time in (1, 2, 3):
+            matrix = (
+                matrices.m_plus if time in {1, 2} else matrices.m_minus
+            )
+            vector = np.asarray(vector @ matrix).ravel()
+        assert np.allclose(vector, [0, 0.16, 0.04, 0.4, 0, 0.4])
+
+    def test_uncertain_second_observation(self, paper_chain_section6):
+        """The paper's obs2 = (0, 0.5, 0, 0, 0.5, 0) -- pdf on s2 only --
+        still forces the object onto the window-avoiding path."""
+        observations = ObservationSet.of(
+            Observation.precise(0, 3, 0),
+            Observation.weighted(3, 3, {1: 1.0}),
+        )
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({1, 2})
+        )
+        assert ob_exists_probability_multi(
+            paper_chain_section6, observations, window
+        ) == pytest.approx(0.0)
+
+
+class TestAgainstConditionedEnumeration:
+    def test_random_instances(self):
+        rng = np.random.default_rng(60)
+        checked = 0
+        while checked < 20:
+            n = int(rng.integers(2, 5))
+            chain = random_chain(n, rng)
+            first = random_distribution(n, rng, sparse=True)
+            horizon = int(rng.integers(2, 6))
+            obs_time = int(rng.integers(1, horizon + 1))
+            obs_dist = random_distribution(n, rng)
+            region = frozenset(
+                int(s)
+                for s in rng.choice(
+                    n, size=int(rng.integers(1, n)), replace=False
+                )
+            )
+            times = frozenset(
+                int(t)
+                for t in rng.choice(
+                    np.arange(1, horizon + 1),
+                    size=int(rng.integers(1, horizon + 1)),
+                    replace=False,
+                )
+            )
+            window = SpatioTemporalWindow(region, times)
+            observations = ObservationSet.of(
+                Observation(0, first), Observation(obs_time, obs_dist)
+            )
+            enumerator = PossibleWorldEnumerator(
+                chain, first, max(window.t_end, obs_time)
+            )
+            try:
+                expected = enumerator.conditioned_on_observations(
+                    [(obs_time, obs_dist)]
+                ).exists_probability(window)
+            except ValidationError:
+                continue  # contradictory draw; skip
+            actual = ob_exists_probability_multi(
+                chain, observations, window
+            )
+            assert actual == pytest.approx(expected, abs=1e-10)
+            checked += 1
+
+    def test_three_observations(self):
+        rng = np.random.default_rng(61)
+        chain = random_chain(4, rng)
+        first = StateDistribution.uniform(4)
+        obs1 = random_distribution(4, rng)
+        obs2 = random_distribution(4, rng)
+        window = SpatioTemporalWindow(frozenset({1}), frozenset({1, 3}))
+        observations = ObservationSet.of(
+            Observation(0, first),
+            Observation(2, obs1),
+            Observation(4, obs2),
+        )
+        enumerator = PossibleWorldEnumerator(chain, first, 4)
+        expected = enumerator.conditioned_on_observations(
+            [(2, obs1), (4, obs2)]
+        ).exists_probability(window)
+        assert ob_exists_probability_multi(
+            chain, observations, window
+        ) == pytest.approx(expected, abs=1e-10)
+
+    def test_observation_beyond_window(self):
+        """An observation after t_end still re-weights the result."""
+        rng = np.random.default_rng(62)
+        chain = random_chain(3, rng)
+        first = StateDistribution.uniform(3)
+        later = random_distribution(3, rng)
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1}))
+        observations = ObservationSet.of(
+            Observation(0, first), Observation(4, later)
+        )
+        enumerator = PossibleWorldEnumerator(chain, first, 4)
+        expected = enumerator.conditioned_on_observations(
+            [(4, later)]
+        ).exists_probability(window)
+        assert ob_exists_probability_multi(
+            chain, observations, window
+        ) == pytest.approx(expected, abs=1e-10)
+
+    def test_single_observation_reduces_to_plain_ob(self):
+        rng = np.random.default_rng(63)
+        chain = random_chain(4, rng)
+        initial = random_distribution(4, rng)
+        window = SpatioTemporalWindow(frozenset({2}), frozenset({1, 3}))
+        observations = ObservationSet.single(Observation(0, initial))
+        assert ob_exists_probability_multi(
+            chain, observations, window
+        ) == pytest.approx(
+            ob_exists_probability(chain, initial, window)
+        )
+
+
+class TestMonteCarloAgreement:
+    def test_importance_sampling_converges(self, paper_chain_section6):
+        rng = np.random.default_rng(64)
+        chain = paper_chain_section6
+        observations = ObservationSet.of(
+            Observation(0, StateDistribution.uniform(3)),
+            Observation.weighted(3, 3, {1: 0.5, 2: 0.5}),
+        )
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1, 2}))
+        exact = ob_exists_probability_multi(chain, observations, window)
+        sampler = MonteCarloSampler(chain, rng=rng)
+        estimate = sampler.exists_probability_multi(
+            observations, window, n_samples=30_000
+        )
+        assert estimate.estimate == pytest.approx(exact, abs=0.02)
+
+
+class TestValidation:
+    def test_contradictory_observations(self, paper_chain):
+        # from s1 the object is certainly at s3 at t=1
+        observations = ObservationSet.of(
+            Observation.precise(0, 3, 0),
+            Observation.precise(1, 3, 0),
+        )
+        window = SpatioTemporalWindow(frozenset({1}), frozenset({1}))
+        with pytest.raises(InfeasibleEvidenceError):
+            ob_exists_probability_multi(
+                paper_chain, observations, window
+            )
+
+    def test_dimension_mismatch(self, paper_chain):
+        observations = ObservationSet.single(
+            Observation.precise(0, 5, 0)
+        )
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1}))
+        with pytest.raises(ValidationError):
+            ob_exists_probability_multi(
+                paper_chain, observations, window
+            )
+
+    def test_query_before_first_observation(self, paper_chain):
+        observations = ObservationSet.single(
+            Observation.precise(2, 3, 0)
+        )
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1}))
+        with pytest.raises(QueryError):
+            ob_exists_probability_multi(
+                paper_chain, observations, window
+            )
+
+    def test_wrong_prebuilt_matrices(self, paper_chain):
+        observations = ObservationSet.single(
+            Observation.precise(0, 3, 0)
+        )
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1}))
+        matrices = build_doubled_matrices(paper_chain, {1})
+        with pytest.raises(QueryError):
+            ob_exists_probability_multi(
+                paper_chain, observations, window, matrices=matrices
+            )

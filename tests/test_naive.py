@@ -1,0 +1,182 @@
+"""Tests for the temporal-independence (naive) competitor model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MarkovChain,
+    SpatioTemporalWindow,
+    StateDistribution,
+    ktimes_distribution,
+    naive_exists_probability,
+    naive_forall_probability,
+    naive_ktimes_distribution,
+    ob_exists_probability,
+    region_marginals,
+)
+from repro.core.errors import QueryError, ValidationError
+
+from conftest import random_chain, random_distribution, random_window
+
+
+class TestMarginals:
+    def test_paper_chain_marginals(self, paper_chain, paper_start):
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({2, 3})
+        )
+        marginals = region_marginals(paper_chain, paper_start, window)
+        # P(o,2) = (0, 0.32, 0.68): region mass 0.32
+        assert marginals[0] == pytest.approx(0.32)
+
+    def test_marginals_are_in_unit_interval(self):
+        rng = np.random.default_rng(30)
+        chain = random_chain(5, rng)
+        initial = random_distribution(5, rng)
+        window = random_window(5, rng)
+        marginals = region_marginals(chain, initial, window)
+        assert ((marginals >= 0) & (marginals <= 1 + 1e-12)).all()
+        assert len(marginals) == window.duration
+
+    def test_validation(self, paper_chain, paper_start):
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1}))
+        with pytest.raises(ValidationError):
+            region_marginals(
+                paper_chain, StateDistribution.point(4, 0), window
+            )
+        with pytest.raises(QueryError):
+            region_marginals(
+                paper_chain, paper_start, window, start_time=5
+            )
+
+
+class TestBiasDirection:
+    """The core claim of Fig. 9(d): independence over-estimates exists."""
+
+    def test_naive_over_estimates_for_sticky_dynamics(self):
+        """The paper's Figure 1 argument: with temporal dependence, an
+        object that stayed outside the window tends to stay outside; the
+        independence model multiplies away that correlation and its
+        exists-probability is biased upward.
+
+        A sticky two-state chain makes the effect analytic: start at
+        state 0, region {0}, times {1, 2}; exact = 1 - P(X1=1, X2=1)
+        = 1 - 0.1*0.9 = 0.91 while naive = 1 - 0.1*0.18 = 0.982.
+        """
+        chain = MarkovChain([[0.9, 0.1], [0.1, 0.9]])
+        initial = StateDistribution.point(2, 0)
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({1, 2}))
+        exact = ob_exists_probability(chain, initial, window)
+        naive = naive_exists_probability(chain, initial, window)
+        assert exact == pytest.approx(0.91)
+        assert naive == pytest.approx(0.982)
+        assert naive > exact
+
+    def test_bias_grows_with_window_length(self):
+        """Fig. 9(d): the independence bias grows with the window."""
+        chain = MarkovChain([[0.9, 0.1], [0.2, 0.8]])
+        initial = StateDistribution.point(2, 1)
+        gaps = []
+        for length in (1, 2, 3, 4):
+            window = SpatioTemporalWindow(
+                frozenset({0}), frozenset(range(1, 1 + length))
+            )
+            exact = ob_exists_probability(chain, initial, window)
+            naive = naive_exists_probability(chain, initial, window)
+            assert naive >= exact - 1e-12  # never an under-estimate here
+            gaps.append(naive - exact)
+        assert gaps[0] == pytest.approx(0.0, abs=1e-12)
+        # the bias widens while the window grows (until both saturate at 1)
+        assert gaps[0] < gaps[1] < gaps[2] < gaps[3]
+
+    def test_pass_through_dynamics_can_under_estimate(self):
+        """The bias is not universally upward: a strictly forward-moving
+        object visits a single-state region in one contiguous stretch
+        (negatively correlated hits), and the naive model then
+        *under*-estimates.  Documented counterpoint to Fig. 9(d)."""
+        n = 8
+        matrix = np.zeros((n, n))
+        for i in range(n - 1):
+            matrix[i, i] = 0.4
+            matrix[i, i + 1] = 0.6
+        matrix[n - 1, n - 1] = 1.0
+        chain = MarkovChain(matrix)
+        initial = StateDistribution.point(n, 0)
+        window = SpatioTemporalWindow(
+            frozenset({3}), frozenset(range(2, 6))
+        )
+        exact = ob_exists_probability(chain, initial, window)
+        naive = naive_exists_probability(chain, initial, window)
+        assert naive < exact
+
+    def test_single_timestamp_has_no_bias(self):
+        rng = np.random.default_rng(31)
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            chain = random_chain(n, rng)
+            initial = random_distribution(n, rng)
+            window = SpatioTemporalWindow(
+                frozenset({0}), frozenset({3})
+            )
+            assert naive_exists_probability(
+                chain, initial, window
+            ) == pytest.approx(
+                ob_exists_probability(chain, initial, window)
+            )
+
+
+class TestNaiveForAll:
+    def test_product_of_marginals(self, paper_chain, paper_start):
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({2, 3})
+        )
+        marginals = region_marginals(paper_chain, paper_start, window)
+        assert naive_forall_probability(
+            paper_chain, paper_start, window
+        ) == pytest.approx(float(np.prod(marginals)))
+
+
+class TestNaiveKTimes:
+    def test_poisson_binomial_sums_to_one(self):
+        rng = np.random.default_rng(32)
+        chain = random_chain(5, rng)
+        initial = random_distribution(5, rng)
+        window = random_window(5, rng)
+        distribution = naive_ktimes_distribution(chain, initial, window)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert len(distribution) == window.duration + 1
+
+    def test_matches_brute_force_poisson_binomial(self):
+        rng = np.random.default_rng(33)
+        chain = random_chain(4, rng)
+        initial = random_distribution(4, rng)
+        window = SpatioTemporalWindow(
+            frozenset({0, 2}), frozenset({1, 2, 3})
+        )
+        marginals = region_marginals(chain, initial, window)
+        # brute-force over the 2^3 independent outcomes
+        expected = np.zeros(4)
+        for bits in range(8):
+            probability = 1.0
+            count = 0
+            for position, p in enumerate(marginals):
+                if bits >> position & 1:
+                    probability *= p
+                    count += 1
+                else:
+                    probability *= 1.0 - p
+            expected[count] += probability
+        assert naive_ktimes_distribution(
+            chain, initial, window
+        ) == pytest.approx(expected)
+
+    def test_consistency_with_naive_exists(self):
+        rng = np.random.default_rng(34)
+        chain = random_chain(4, rng)
+        initial = random_distribution(4, rng)
+        window = random_window(4, rng)
+        distribution = naive_ktimes_distribution(chain, initial, window)
+        assert naive_exists_probability(
+            chain, initial, window
+        ) == pytest.approx(1.0 - distribution[0])

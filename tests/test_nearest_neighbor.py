@@ -1,0 +1,158 @@
+"""Tests for probabilistic nearest-neighbour queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GridStateSpace,
+    LineStateSpace,
+    MarkovChain,
+    MonteCarloSampler,
+    StateDistribution,
+    TrajectoryDatabase,
+    UncertainObject,
+    nearest_neighbor_probabilities,
+)
+from repro.core.errors import QueryError
+
+from conftest import random_chain
+
+
+def line_database(chain, positions, n_states):
+    database = TrajectoryDatabase.with_chain(
+        chain, state_space=LineStateSpace(n_states)
+    )
+    for index, state in enumerate(positions):
+        database.add(
+            UncertainObject.at_state(f"o{index}", n_states, state)
+        )
+    return database
+
+
+class TestDeterministicCases:
+    def test_certain_objects_at_time_zero(self):
+        n = 10
+        chain = MarkovChain.identity(n)
+        database = line_database(chain, [1, 5, 9], n)
+        result = nearest_neighbor_probabilities(database, (4.9,), 0)
+        assert result["o1"] == pytest.approx(1.0)  # state 5 is closest
+        assert result["o0"] == pytest.approx(0.0)
+        assert result["o2"] == pytest.approx(0.0)
+
+    def test_exact_tie_split_evenly(self):
+        n = 10
+        chain = MarkovChain.identity(n)
+        database = line_database(chain, [3, 7], n)
+        result = nearest_neighbor_probabilities(database, (5.0,), 0)
+        assert result["o0"] == pytest.approx(0.5)
+        assert result["o1"] == pytest.approx(0.5)
+
+    def test_three_way_tie(self):
+        grid = GridStateSpace(3, 3)
+        chain = MarkovChain.identity(9)
+        database = TrajectoryDatabase.with_chain(chain, state_space=grid)
+        # three corners equidistant from the centre cell's centre
+        for index, (x, y) in enumerate([(0, 0), (2, 2), (0, 2)]):
+            database.add(
+                UncertainObject.at_state(
+                    f"o{index}", 9, grid.state_of_cell(x, y)
+                )
+            )
+        center = grid.location_of(grid.state_of_cell(1, 1))
+        result = nearest_neighbor_probabilities(database, center, 0)
+        for probability in result.values():
+            assert probability == pytest.approx(1 / 3)
+
+    def test_single_object_is_always_nn(self):
+        n = 5
+        rng = np.random.default_rng(0)
+        chain = random_chain(n, rng)
+        database = line_database(chain, [2], n)
+        result = nearest_neighbor_probabilities(database, (0.0,), 3)
+        assert result["o0"] == pytest.approx(1.0)
+
+
+class TestProbabilisticProperties:
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        n = 12
+        chain = random_chain(n, rng, density=0.4)
+        database = line_database(chain, [0, 4, 8, 11], n)
+        for time in (0, 2, 5):
+            result = nearest_neighbor_probabilities(
+                database, (6.0,), time
+            )
+            assert sum(result.values()) == pytest.approx(1.0)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        n = 8
+        chain = random_chain(n, rng, density=0.5)
+        database = line_database(chain, [1, 6], n)
+        time = 3
+        exact = nearest_neighbor_probabilities(database, (3.0,), time)
+
+        sampler_a = MonteCarloSampler(chain, seed=10)
+        sampler_b = MonteCarloSampler(chain, seed=11)
+        n_samples = 40_000
+        paths_a = sampler_a.sample_paths(
+            StateDistribution.point(n, 1), time, n_samples
+        )
+        paths_b = sampler_b.sample_paths(
+            StateDistribution.point(n, 6), time, n_samples
+        )
+        dist_a = np.abs(paths_a[:, time] - 3.0)
+        dist_b = np.abs(paths_b[:, time] - 3.0)
+        wins_a = (dist_a < dist_b).mean() + 0.5 * (dist_a == dist_b).mean()
+        assert exact["o0"] == pytest.approx(float(wins_a), abs=0.02)
+
+    def test_closer_distribution_wins_more(self):
+        """With a *local* chain the initially closer object stays the
+        likelier nearest neighbour."""
+        from repro.workloads.synthetic import make_line_chain
+
+        n = 20
+        chain = make_line_chain(n, state_spread=3, max_step=4, seed=3)
+        database = line_database(chain, [2, 17], n)
+        result = nearest_neighbor_probabilities(database, (3.0,), 2)
+        assert result["o0"] > result["o1"]
+
+
+class TestValidation:
+    def test_empty_database(self):
+        chain = MarkovChain.identity(3)
+        database = TrajectoryDatabase.with_chain(
+            chain, state_space=LineStateSpace(3)
+        )
+        with pytest.raises(QueryError):
+            nearest_neighbor_probabilities(database, (0.0,), 0)
+
+    def test_missing_state_space(self):
+        chain = MarkovChain.identity(3)
+        database = TrajectoryDatabase.with_chain(chain)
+        database.add(UncertainObject.at_state("a", 3, 0))
+        with pytest.raises(QueryError):
+            nearest_neighbor_probabilities(database, (0.0,), 0)
+
+    def test_negative_time(self):
+        chain = MarkovChain.identity(3)
+        database = line_database(chain, [0], 3)
+        with pytest.raises(QueryError):
+            nearest_neighbor_probabilities(database, (0.0,), -1)
+
+    def test_object_observed_after_query_time(self):
+        chain = MarkovChain.identity(3)
+        database = TrajectoryDatabase.with_chain(
+            chain, state_space=LineStateSpace(3)
+        )
+        database.add(UncertainObject.at_state("late", 3, 0, time=5))
+        with pytest.raises(QueryError):
+            nearest_neighbor_probabilities(database, (0.0,), 2)
+
+    def test_dimension_mismatch(self):
+        chain = MarkovChain.identity(3)
+        database = line_database(chain, [0], 3)
+        with pytest.raises(QueryError):
+            nearest_neighbor_probabilities(database, (0.0, 1.0), 0)

@@ -1,0 +1,87 @@
+"""Tests for observations and observation sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Observation, ObservationSet, StateDistribution
+from repro.core.errors import ObservationError
+
+
+class TestObservation:
+    def test_precise(self):
+        obs = Observation.precise(3, 10, 4)
+        assert obs.time == 3
+        assert obs.is_precise()
+        assert obs.distribution.probability(4) == 1.0
+
+    def test_uniform(self):
+        obs = Observation.uniform(0, 5, [1, 2])
+        assert not obs.is_precise()
+        assert obs.distribution.probability(1) == pytest.approx(0.5)
+
+    def test_weighted_normalizes(self):
+        obs = Observation.weighted(1, 4, {0: 2.0, 3: 6.0})
+        assert obs.distribution.probability(3) == pytest.approx(0.75)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ObservationError):
+            Observation.precise(-1, 3, 0)
+
+    def test_n_states(self):
+        assert Observation.precise(0, 7, 0).n_states == 7
+
+
+class TestObservationSet:
+    def test_single(self):
+        obs_set = ObservationSet.single(Observation.precise(0, 3, 1))
+        assert len(obs_set) == 1
+        assert obs_set.first is obs_set.last
+
+    def test_sorted_by_time(self):
+        late = Observation.precise(5, 3, 0)
+        early = Observation.precise(1, 3, 2)
+        obs_set = ObservationSet.of(late, early)
+        assert obs_set.times == (1, 5)
+        assert obs_set.first.time == 1
+        assert obs_set.last.time == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ObservationError):
+            ObservationSet(())
+
+    def test_duplicate_times_rejected(self):
+        a = Observation.precise(2, 3, 0)
+        b = Observation.precise(2, 3, 1)
+        with pytest.raises(ObservationError):
+            ObservationSet.of(a, b)
+
+    def test_mixed_state_counts_rejected(self):
+        a = Observation.precise(0, 3, 0)
+        b = Observation.precise(1, 4, 0)
+        with pytest.raises(ObservationError):
+            ObservationSet.of(a, b)
+
+    def test_at(self):
+        a = Observation.precise(0, 3, 0)
+        b = Observation.precise(4, 3, 1)
+        obs_set = ObservationSet.of(a, b)
+        assert obs_set.at(4) is b
+        assert obs_set.at(2) is None
+
+    def test_after(self):
+        a = Observation.precise(0, 3, 0)
+        b = Observation.precise(2, 3, 1)
+        c = Observation.precise(7, 3, 2)
+        obs_set = ObservationSet.of(c, a, b)
+        assert [o.time for o in obs_set.after(0)] == [2, 7]
+        assert obs_set.after(7) == []
+
+    def test_iteration(self):
+        a = Observation.precise(0, 3, 0)
+        b = Observation.precise(1, 3, 1)
+        assert [o.time for o in ObservationSet.of(b, a)] == [0, 1]
+
+    def test_n_states(self):
+        obs_set = ObservationSet.single(Observation.precise(0, 9, 0))
+        assert obs_set.n_states == 9

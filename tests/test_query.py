@@ -1,0 +1,107 @@
+"""Tests for query window and PST query definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    PSTExistsQuery,
+    PSTForAllQuery,
+    PSTKTimesQuery,
+    SpatioTemporalWindow,
+)
+from repro.core.errors import QueryError
+
+
+class TestWindow:
+    def test_from_ranges(self):
+        window = SpatioTemporalWindow.from_ranges(100, 120, 20, 25)
+        assert window.region == frozenset(range(100, 121))
+        assert window.times == frozenset(range(20, 26))
+        assert window.t_start == 20
+        assert window.t_end == 25
+        assert window.duration == 6
+
+    def test_arbitrary_noncontiguous_sets(self):
+        # Section III: any subsets of space and time are allowed
+        window = SpatioTemporalWindow(
+            frozenset({3, 17, 99}), frozenset({1, 5})
+        )
+        assert window.contains_time(5)
+        assert not window.contains_time(2)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(QueryError):
+            SpatioTemporalWindow(frozenset(), frozenset({1}))
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(QueryError):
+            SpatioTemporalWindow(frozenset({1}), frozenset())
+
+    def test_negative_state_rejected(self):
+        with pytest.raises(QueryError):
+            SpatioTemporalWindow(frozenset({-1}), frozenset({1}))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(QueryError):
+            SpatioTemporalWindow(frozenset({1}), frozenset({-5}))
+
+    def test_inverted_ranges_rejected(self):
+        with pytest.raises(QueryError):
+            SpatioTemporalWindow.from_ranges(5, 3, 0, 1)
+        with pytest.raises(QueryError):
+            SpatioTemporalWindow.from_ranges(0, 1, 5, 3)
+
+    def test_with_region(self):
+        window = SpatioTemporalWindow.from_ranges(0, 1, 2, 3)
+        swapped = window.with_region({7})
+        assert swapped.region == frozenset({7})
+        assert swapped.times == window.times
+
+    def test_validate_for(self):
+        window = SpatioTemporalWindow.from_ranges(0, 10, 0, 1)
+        window.validate_for(11)  # fits exactly
+        with pytest.raises(QueryError):
+            window.validate_for(10)
+
+
+class TestQueries:
+    def test_exists_from_ranges(self):
+        query = PSTExistsQuery.from_ranges(0, 5, 1, 2)
+        assert query.region == frozenset(range(6))
+        assert query.times == frozenset({1, 2})
+
+    def test_forall_complement(self):
+        query = PSTForAllQuery.from_ranges(0, 1, 0, 0)
+        complement = query.complement_exists(4)
+        assert complement.region == frozenset({2, 3})
+        assert complement.times == query.times
+
+    def test_forall_complement_whole_space(self):
+        query = PSTForAllQuery.from_ranges(0, 3, 0, 0)
+        with pytest.raises(QueryError):
+            query.complement_exists(4)
+
+    def test_forall_complement_region_too_big(self):
+        query = PSTForAllQuery.from_ranges(0, 9, 0, 0)
+        with pytest.raises(QueryError):
+            query.complement_exists(5)
+
+    def test_ktimes_k_bounds(self):
+        window = SpatioTemporalWindow.from_ranges(0, 1, 0, 2)
+        PSTKTimesQuery(window, k=0)
+        PSTKTimesQuery(window, k=3)
+        with pytest.raises(QueryError):
+            PSTKTimesQuery(window, k=4)
+        with pytest.raises(QueryError):
+            PSTKTimesQuery(window, k=-1)
+
+    def test_ktimes_full_distribution_default(self):
+        query = PSTKTimesQuery.from_ranges(0, 1, 0, 2)
+        assert query.k is None
+
+    def test_queries_are_hashable(self):
+        a = PSTExistsQuery.from_ranges(0, 1, 2, 3)
+        b = PSTExistsQuery.from_ranges(0, 1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,177 @@
+"""Tests for the STR-packed R-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, RTree
+from repro.core.errors import ValidationError
+
+
+class TestRect:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_point(self):
+        point = Rect.point(2.0, 3.0)
+        assert point.area == 0.0
+        assert point.center == (2.0, 3.0)
+
+    def test_intersects_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_touching_edges(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 2, 1)
+        assert a.intersects(b)  # closed rectangles touch
+
+    def test_intersects_disjoint(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(2, 2, 3, 3)
+        assert not a.intersects(b)
+        assert not b.intersects(a)
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 2, 3, 3)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_union(self):
+        union = Rect(0, 0, 1, 1).union(Rect(5, 5, 6, 6))
+        assert union == Rect(0, 0, 6, 6)
+
+    def test_union_all(self):
+        rects = [Rect.point(0, 0), Rect.point(4, 2), Rect.point(-1, 3)]
+        assert Rect.union_all(rects) == Rect(-1, 0, 4, 3)
+        with pytest.raises(ValidationError):
+            Rect.union_all([])
+
+    def test_expand(self):
+        assert Rect(0, 0, 1, 1).expand(2.0) == Rect(-2, -2, 3, 3)
+        with pytest.raises(ValidationError):
+            Rect(0, 0, 1, 1).expand(-1)
+
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area == 6.0
+
+
+def brute_force(entries, query):
+    return [item for rect, item in entries if rect.intersects(query)]
+
+
+class TestRTree:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 1, 1)) == []
+        assert tree.root_mbr() is None
+        assert tree.height == 0
+
+    def test_single_entry(self):
+        tree = RTree([(Rect.point(1, 1), "a")])
+        assert tree.search(Rect(0, 0, 2, 2)) == ["a"]
+        assert tree.search(Rect(5, 5, 6, 6)) == []
+        assert tree.height == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError):
+            RTree([], capacity=1)
+
+    def test_from_points(self):
+        tree = RTree.from_points([(0.0, 0.0, "a"), (5.0, 5.0, "b")])
+        assert set(tree.search(Rect(-1, -1, 1, 1))) == {"a"}
+
+    def test_matches_brute_force_grid(self):
+        entries = [
+            (Rect.point(float(x), float(y)), (x, y))
+            for x in range(20)
+            for y in range(20)
+        ]
+        tree = RTree(entries, capacity=8)
+        for query in [
+            Rect(0, 0, 5, 5),
+            Rect(10.5, 3.2, 15.1, 9.7),
+            Rect(-5, -5, -1, -1),
+            Rect(0, 0, 19, 19),
+        ]:
+            assert sorted(tree.search(query)) == sorted(
+                brute_force(entries, query)
+            )
+
+    def test_matches_brute_force_random_rects(self):
+        rng = np.random.default_rng(0)
+        entries = []
+        for index in range(300):
+            x, y = rng.uniform(0, 100, size=2)
+            w, h = rng.uniform(0, 5, size=2)
+            entries.append((Rect(x, y, x + w, y + h), index))
+        tree = RTree(entries, capacity=10)
+        for _ in range(25):
+            qx, qy = rng.uniform(0, 100, size=2)
+            qw, qh = rng.uniform(0, 20, size=2)
+            query = Rect(qx, qy, qx + qw, qy + qh)
+            assert sorted(tree.search(query)) == sorted(
+                brute_force(entries, query)
+            )
+
+    def test_count(self):
+        entries = [(Rect.point(float(i), 0.0), i) for i in range(10)]
+        tree = RTree(entries)
+        assert tree.count(Rect(2, -1, 5, 1)) == 4
+
+    def test_root_mbr_covers_everything(self):
+        rng = np.random.default_rng(1)
+        entries = [
+            (Rect.point(*rng.uniform(0, 50, size=2)), i)
+            for i in range(100)
+        ]
+        tree = RTree(entries, capacity=4)
+        mbr = tree.root_mbr()
+        for rect, _ in entries:
+            assert mbr.contains(rect)
+
+    def test_height_grows_logarithmically(self):
+        entries = [
+            (Rect.point(float(i % 40), float(i // 40)), i)
+            for i in range(1600)
+        ]
+        tree = RTree(entries, capacity=16)
+        # 1600 entries / 16 per leaf = 100 leaves; height 3 expected
+        assert tree.height == 3
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 40, allow_nan=False),
+            st.floats(0, 40, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_search_equals_brute_force(self, points, query_spec):
+        entries = [
+            (Rect.point(x, y), index)
+            for index, (x, y) in enumerate(points)
+        ]
+        qx, qy, qw, qh = query_spec
+        query = Rect(qx, qy, qx + qw, qy + qh)
+        tree = RTree(entries, capacity=5)
+        assert sorted(tree.search(query)) == sorted(
+            brute_force(entries, query)
+        )

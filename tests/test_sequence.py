@@ -1,0 +1,205 @@
+"""Tests for regular-pattern (Lahar-style) sequence queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MarkovChain,
+    PossibleWorldEnumerator,
+    SpatioTemporalWindow,
+    StateDistribution,
+    ob_exists_probability,
+)
+from repro.core.errors import QueryError, ValidationError
+from repro.core.sequence import Pattern, sequence_probability
+
+from conftest import random_chain, random_distribution
+
+
+class TestPatternMatching:
+    """The compiled DFA on concrete sequences."""
+
+    def test_atom(self):
+        pattern = Pattern.state(1)
+        assert pattern.matches([1], n_states=3)
+        assert not pattern.matches([2], n_states=3)
+        assert not pattern.matches([1, 1], n_states=3)  # whole match
+
+    def test_any(self):
+        pattern = Pattern.any().then(Pattern.state(0))
+        assert pattern.matches([2, 0], n_states=3)
+        assert not pattern.matches([0, 2], n_states=3)
+
+    def test_concat(self):
+        pattern = Pattern.state(0).then(Pattern.state(1))
+        assert pattern.matches([0, 1], n_states=2)
+        assert not pattern.matches([0, 0], n_states=2)
+
+    def test_union(self):
+        pattern = Pattern.state(0).alt(Pattern.state(1))
+        assert pattern.matches([0], n_states=3)
+        assert pattern.matches([1], n_states=3)
+        assert not pattern.matches([2], n_states=3)
+
+    def test_star(self):
+        pattern = Pattern.state(0).star()
+        assert pattern.matches([], n_states=2)
+        assert pattern.matches([0, 0, 0], n_states=2)
+        assert not pattern.matches([0, 1], n_states=2)
+
+    def test_plus(self):
+        pattern = Pattern.state(0).plus()
+        assert not pattern.matches([], n_states=2)
+        assert pattern.matches([0], n_states=2)
+        assert pattern.matches([0, 0], n_states=2)
+
+    def test_repeat(self):
+        pattern = Pattern.states({0, 1}).repeat(3)
+        assert pattern.matches([0, 1, 0], n_states=3)
+        assert not pattern.matches([0, 1], n_states=3)
+        assert not pattern.matches([0, 1, 2], n_states=3)
+
+    def test_repeat_zero_is_epsilon(self):
+        pattern = Pattern.state(0).repeat(0)
+        assert pattern.matches([], n_states=2)
+        assert not pattern.matches([0], n_states=2)
+
+    def test_complex_pattern(self):
+        # "anywhere, then at least one step in {1,2}, then state 0"
+        pattern = (
+            Pattern.any().star()
+            .then(Pattern.states({1, 2}).plus())
+            .then(Pattern.state(0))
+        )
+        assert pattern.matches([0, 1, 0], n_states=3)
+        assert pattern.matches([2, 2, 0], n_states=3)
+        assert not pattern.matches([0, 0], n_states=3)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            Pattern.states(set())
+        with pytest.raises(QueryError):
+            Pattern.state(0).repeat(-1)
+        with pytest.raises(QueryError):
+            Pattern.state(9).compile(3).matches([0])
+        with pytest.raises(ValidationError):
+            Pattern.any().compile(3).matches([7])
+
+
+def brute_force_probability(chain, initial, pattern, length):
+    enumerator = PossibleWorldEnumerator(chain, initial, length)
+    compiled = pattern.compile(chain.n_states)
+    return sum(
+        probability
+        for trajectory, probability in enumerator.worlds()
+        if compiled.matches(trajectory.states)
+    )
+
+
+class TestSequenceProbability:
+    def test_matches_enumeration_random(self):
+        rng = np.random.default_rng(0)
+        for trial in range(15):
+            n = int(rng.integers(2, 5))
+            chain = random_chain(n, rng)
+            initial = random_distribution(n, rng, sparse=True)
+            length = int(rng.integers(1, 5))
+            pattern = (
+                Pattern.any().star()
+                .then(Pattern.states({0}))
+                .then(Pattern.any().star())
+            )
+            expected = brute_force_probability(
+                chain, initial, pattern, length
+            )
+            actual = sequence_probability(
+                chain, initial, pattern, length
+            )
+            assert actual == pytest.approx(expected, abs=1e-10)
+
+    def test_wildcard_pattern_has_probability_one(self, paper_chain):
+        initial = StateDistribution.point(3, 1)
+        pattern = Pattern.any().plus()
+        assert sequence_probability(
+            paper_chain, initial, pattern, length=4
+        ) == pytest.approx(1.0)
+
+    def test_exists_window_as_anchored_pattern(self, paper_chain):
+        """The paper's point inverted: while a *plain* regex cannot
+        anchor positions, an explicit finite unrolling can.  The window
+        S={s1,s2}, T={2,3} over a length-3 sequence is
+        ``. . ([s1s2] .) | (. [s1s2])`` -- and must equal the paper's
+        0.864."""
+        initial = StateDistribution.point(3, 1)
+        region = Pattern.states({0, 1})
+        dot = Pattern.any()
+        pattern = dot.then(dot).then(
+            region.then(dot).alt(dot.then(region))
+        )
+        probability = sequence_probability(
+            paper_chain, initial, pattern, length=3
+        )
+        assert probability == pytest.approx(0.864)
+
+    def test_forall_window_as_pattern(self):
+        rng = np.random.default_rng(1)
+        chain = random_chain(4, rng)
+        initial = random_distribution(4, rng)
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({1, 2})
+        )
+        from repro import ob_forall_probability
+
+        region = Pattern.states({0, 1})
+        pattern = (
+            Pattern.any().then(region).then(region)
+        )
+        assert sequence_probability(
+            chain, initial, pattern, length=2
+        ) == pytest.approx(
+            ob_forall_probability(chain, initial, window)
+        )
+
+    def test_unreachable_pattern_zero(self, paper_chain):
+        # from s2 the object cannot be at s2 at t=1
+        initial = StateDistribution.point(3, 1)
+        pattern = Pattern.any().then(Pattern.state(1))
+        assert sequence_probability(
+            paper_chain, initial, pattern, length=1
+        ) == 0.0
+
+    def test_length_zero_matches_single_symbol_patterns(self,
+                                                        paper_chain):
+        initial = StateDistribution.point(3, 1)
+        assert sequence_probability(
+            paper_chain, initial, Pattern.state(1), length=0
+        ) == 1.0
+        assert sequence_probability(
+            paper_chain, initial, Pattern.state(0), length=0
+        ) == 0.0
+
+    def test_validation(self, paper_chain):
+        initial = StateDistribution.point(3, 1)
+        with pytest.raises(QueryError):
+            sequence_probability(
+                paper_chain, initial, Pattern.any(), length=-1
+            )
+        with pytest.raises(ValidationError):
+            sequence_probability(
+                paper_chain,
+                StateDistribution.point(4, 0),
+                Pattern.any(),
+                length=1,
+            )
+
+    def test_star_pattern_probabilities(self):
+        """P(stay in {0} the whole time) via a star pattern."""
+        chain = MarkovChain([[0.7, 0.3], [0.0, 1.0]])
+        initial = StateDistribution.point(2, 0)
+        pattern = Pattern.state(0).plus()
+        for length in range(4):
+            assert sequence_probability(
+                chain, initial, pattern, length
+            ) == pytest.approx(0.7**length)

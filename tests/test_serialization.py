@@ -1,0 +1,146 @@
+"""Tests for persistence of chains and databases."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    MarkovChain,
+    Observation,
+    ObservationSet,
+    PSTExistsQuery,
+    QueryEngine,
+    SpatioTemporalWindow,
+    StateDistribution,
+    TrajectoryDatabase,
+    UncertainObject,
+    load_chain,
+    load_database,
+    save_chain,
+    save_database,
+)
+from repro.core.errors import SerializationError
+
+from conftest import random_chain
+
+
+class TestChainRoundTrip:
+    def test_exact_round_trip(self, tmp_path, paper_chain):
+        path = tmp_path / "chain.npz"
+        save_chain(paper_chain, path)
+        loaded = load_chain(path)
+        assert loaded == paper_chain
+
+    def test_random_chain_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        chain = random_chain(20, rng)
+        path = tmp_path / "chain.npz"
+        save_chain(chain, path)
+        assert load_chain(path) == chain
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_chain(tmp_path / "nope.npz")
+
+    def test_corrupt_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, unrelated=np.zeros(3))
+        with pytest.raises(SerializationError):
+            load_chain(path)
+
+
+def build_database(seed=0):
+    rng = np.random.default_rng(seed)
+    n = 6
+    database = TrajectoryDatabase(n)
+    database.register_chain("default", random_chain(n, rng))
+    database.register_chain("fast", random_chain(n, rng))
+    database.add(UncertainObject.at_state("a", n, 2))
+    database.add(
+        UncertainObject.with_distribution(
+            "b", StateDistribution.uniform(n, [0, 1, 2]), chain_id="fast"
+        )
+    )
+    database.add(
+        UncertainObject(
+            "c",
+            ObservationSet.of(
+                Observation.precise(0, n, 1),
+                Observation.uniform(3, n, [3, 4]),
+            ),
+        )
+    )
+    return database
+
+
+class TestDatabaseRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        database = build_database()
+        save_database(database, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.n_states == database.n_states
+        assert loaded.chain_ids == database.chain_ids
+        assert loaded.object_ids == database.object_ids
+        assert loaded.get("c").observations.times == (0, 3)
+        assert loaded.get("b").chain_id == "fast"
+
+    def test_query_answers_preserved(self, tmp_path):
+        database = build_database(seed=1)
+        save_database(database, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        window = SpatioTemporalWindow(frozenset({0, 1}), frozenset({2}))
+        original = QueryEngine(database).evaluate(
+            PSTExistsQuery(window), method="qb"
+        )
+        reloaded = QueryEngine(loaded).evaluate(
+            PSTExistsQuery(window), method="qb"
+        )
+        for object_id in database.object_ids:
+            assert reloaded.values[object_id] == pytest.approx(
+                original.values[object_id], abs=1e-12
+            )
+
+    def test_observation_distributions_preserved(self, tmp_path):
+        database = build_database(seed=2)
+        save_database(database, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        for obj in database:
+            reloaded = loaded.get(obj.object_id)
+            for original_obs, new_obs in zip(
+                obj.observations, reloaded.observations
+            ):
+                assert np.allclose(
+                    original_obs.distribution.vector,
+                    new_obs.distribution.vector,
+                    atol=1e-12,
+                )
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_database(tmp_path / "missing")
+
+    def test_corrupt_metadata(self, tmp_path):
+        directory = tmp_path / "db"
+        directory.mkdir()
+        (directory / "meta.json").write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_database(directory)
+
+    def test_wrong_schema_version(self, tmp_path):
+        directory = tmp_path / "db"
+        database = build_database()
+        save_database(database, directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["schema_version"] = 999
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(SerializationError):
+            load_database(directory)
+
+    def test_save_creates_nested_directories(self, tmp_path):
+        database = build_database()
+        deep = tmp_path / "a" / "b" / "db"
+        save_database(database, deep)
+        assert load_database(deep).object_ids == database.object_ids

@@ -1,0 +1,208 @@
+"""Tests for the line / grid / graph state spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphStateSpace, GridStateSpace, LineStateSpace
+from repro.core.errors import StateSpaceError
+
+
+class TestLineStateSpace:
+    def test_basic(self):
+        space = LineStateSpace(10)
+        assert space.n_states == 10
+        assert len(space) == 10
+        assert space.location_of(3) == (3.0,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StateSpaceError):
+            LineStateSpace(0)
+
+    def test_check_state(self):
+        space = LineStateSpace(5)
+        assert space.check_state(4) == 4
+        with pytest.raises(StateSpaceError):
+            space.check_state(5)
+        with pytest.raises(StateSpaceError):
+            space.check_state(-1)
+
+    def test_interval(self):
+        space = LineStateSpace(100)
+        assert space.interval(10, 12) == frozenset({10, 11, 12})
+
+    def test_interval_clipped(self):
+        space = LineStateSpace(10)
+        assert space.interval(8, 50) == frozenset({8, 9})
+
+    def test_interval_outside(self):
+        space = LineStateSpace(10)
+        with pytest.raises(StateSpaceError):
+            space.interval(50, 60)
+
+    def test_interval_inverted(self):
+        with pytest.raises(StateSpaceError):
+            LineStateSpace(10).interval(5, 2)
+
+    def test_complement(self):
+        space = LineStateSpace(5)
+        assert space.complement([0, 1]) == frozenset({2, 3, 4})
+
+    def test_check_region_validates(self):
+        space = LineStateSpace(3)
+        with pytest.raises(StateSpaceError):
+            space.check_region([0, 7])
+
+
+class TestGridStateSpace:
+    def test_row_major_layout(self):
+        grid = GridStateSpace(4, 3)
+        assert grid.n_states == 12
+        assert grid.state_of_cell(1, 2) == 9
+        assert grid.cell_of_state(9) == (1, 2)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(StateSpaceError):
+            GridStateSpace(0, 5)
+        with pytest.raises(StateSpaceError):
+            GridStateSpace(5, 5, cell_size=0)
+
+    def test_cell_out_of_range(self):
+        grid = GridStateSpace(2, 2)
+        with pytest.raises(StateSpaceError):
+            grid.state_of_cell(2, 0)
+
+    def test_location_is_cell_center(self):
+        grid = GridStateSpace(3, 3, cell_size=2.0, origin=(10.0, 20.0))
+        assert grid.location_of(0) == (11.0, 21.0)
+        assert grid.location_of(4) == (13.0, 23.0)
+
+    def test_state_of_point(self):
+        grid = GridStateSpace(3, 3, cell_size=2.0)
+        assert grid.state_of_point(0.5, 0.5) == 0
+        assert grid.state_of_point(5.9, 5.9) == 8
+
+    def test_state_of_point_outside(self):
+        grid = GridStateSpace(2, 2)
+        with pytest.raises(StateSpaceError):
+            grid.state_of_point(-1.0, 0.5)
+
+    def test_box(self):
+        grid = GridStateSpace(4, 4)
+        box = grid.box(1, 1, 2, 2)
+        assert box == frozenset({5, 6, 9, 10})
+
+    def test_box_clipped(self):
+        grid = GridStateSpace(3, 3)
+        assert grid.box(2, 2, 10, 10) == frozenset({8})
+
+    def test_box_fully_outside(self):
+        grid = GridStateSpace(3, 3)
+        with pytest.raises(StateSpaceError):
+            grid.box(5, 5, 9, 9)
+
+    def test_box_inverted(self):
+        with pytest.raises(StateSpaceError):
+            GridStateSpace(3, 3).box(2, 2, 1, 1)
+
+    def test_disk(self):
+        grid = GridStateSpace(5, 5)
+        disk = grid.disk(2.5, 2.5, 1.0)
+        assert grid.state_of_cell(2, 2) in disk
+        assert grid.state_of_cell(0, 0) not in disk
+
+    def test_disk_negative_radius(self):
+        with pytest.raises(StateSpaceError):
+            GridStateSpace(3, 3).disk(0, 0, -1)
+
+    def test_neighbors_center_8(self):
+        grid = GridStateSpace(3, 3)
+        assert len(grid.neighbors(4, diagonal=True)) == 8
+        assert len(grid.neighbors(4, diagonal=False)) == 4
+
+    def test_neighbors_corner(self):
+        grid = GridStateSpace(3, 3)
+        assert len(grid.neighbors(0, diagonal=True)) == 3
+        assert len(grid.neighbors(0, diagonal=False)) == 2
+
+
+class TestGraphStateSpace:
+    def build(self):
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b"), ("b", "c"), ("c", "d")]
+        positions = {
+            "a": (0.0, 0.0),
+            "b": (1.0, 0.0),
+            "c": (2.0, 0.0),
+            "d": (3.0, 0.0),
+        }
+        return GraphStateSpace(nodes, edges, positions=positions)
+
+    def test_index_mapping(self):
+        space = self.build()
+        assert space.index_of("c") == 2
+        assert space.label_of(2) == "c"
+
+    def test_unknown_label(self):
+        with pytest.raises(StateSpaceError):
+            self.build().index_of("z")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(StateSpaceError):
+            GraphStateSpace(["a", "a"], [])
+
+    def test_undirected_adjacency(self):
+        space = self.build()
+        assert space.out_neighbors(1) == [0, 2]
+        assert space.n_edges() == 6  # 3 undirected edges, both ways
+
+    def test_directed_adjacency(self):
+        space = GraphStateSpace(
+            ["a", "b"], [("a", "b")], directed=True
+        )
+        assert space.out_neighbors(0) == [1]
+        assert space.out_neighbors(1) == []
+
+    def test_self_loops_dropped(self):
+        space = GraphStateSpace(["a", "b"], [("a", "a"), ("a", "b")])
+        assert space.out_neighbors(0) == [1]
+
+    def test_duplicate_edges_deduplicated(self):
+        space = GraphStateSpace(
+            ["a", "b"], [("a", "b"), ("a", "b"), ("b", "a")]
+        )
+        assert space.out_neighbors(0) == [1]
+        assert space.n_edges() == 2
+
+    def test_ball(self):
+        space = self.build()
+        assert space.ball("a", 0) == frozenset({0})
+        assert space.ball("a", 1) == frozenset({0, 1})
+        assert space.ball("a", 2) == frozenset({0, 1, 2})
+        assert space.ball("a", 99) == frozenset({0, 1, 2, 3})
+
+    def test_ball_negative(self):
+        with pytest.raises(StateSpaceError):
+            self.build().ball("a", -1)
+
+    def test_locations(self):
+        space = self.build()
+        assert space.location_of(3) == (3.0, 0.0)
+
+    def test_location_without_positions(self):
+        space = GraphStateSpace(["a"], [])
+        with pytest.raises(StateSpaceError):
+            space.location_of(0)
+
+    def test_disk(self):
+        space = self.build()
+        assert space.disk(0.0, 0.0, 1.5) == frozenset({0, 1})
+
+    def test_disk_without_positions(self):
+        space = GraphStateSpace(["a"], [])
+        with pytest.raises(StateSpaceError):
+            space.disk(0, 0, 1)
+
+    def test_region_labels(self):
+        space = self.build()
+        assert space.region_labels(["a", "d"]) == frozenset({0, 3})

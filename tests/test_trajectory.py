@@ -1,0 +1,194 @@
+"""Tests for trajectories and the possible-world enumeration oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MarkovChain,
+    PossibleWorldEnumerator,
+    SpatioTemporalWindow,
+    StateDistribution,
+    Trajectory,
+    sample_trajectory,
+)
+from repro.core.errors import ValidationError
+
+from conftest import random_chain
+
+
+class TestTrajectory:
+    def test_construction(self):
+        trajectory = Trajectory((0, 1, 2))
+        assert len(trajectory) == 3
+        assert trajectory[1] == 1
+        assert trajectory.state_at(2) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory(())
+
+    def test_state_at_out_of_horizon(self):
+        with pytest.raises(ValidationError):
+            Trajectory((0,)).state_at(1)
+
+    def test_intersects(self):
+        window = SpatioTemporalWindow(frozenset({5}), frozenset({1, 2}))
+        assert Trajectory((0, 5, 0)).intersects(window)
+        assert not Trajectory((5, 0, 0)).intersects(window)
+
+    def test_stays_within(self):
+        window = SpatioTemporalWindow(
+            frozenset({1, 2}), frozenset({0, 1})
+        )
+        assert Trajectory((1, 2, 9)).stays_within(window)
+        assert not Trajectory((1, 9, 9)).stays_within(window)
+
+    def test_hit_count(self):
+        window = SpatioTemporalWindow(
+            frozenset({7}), frozenset({0, 1, 2})
+        )
+        assert Trajectory((7, 0, 7)).hit_count(window) == 2
+
+    def test_times_beyond_horizon_do_not_count(self):
+        window = SpatioTemporalWindow(frozenset({0}), frozenset({9}))
+        assert Trajectory((0, 0)).hit_count(window) == 0
+        assert not Trajectory((0, 0)).intersects(window)
+
+    def test_probability_under(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        # path s2 -> s1 -> s3: 1.0 * 0.6 * 1.0
+        assert Trajectory((1, 0, 2)).probability_under(
+            paper_chain, start
+        ) == pytest.approx(0.6)
+
+    def test_probability_under_impossible_path(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        assert Trajectory((1, 1)).probability_under(
+            paper_chain, start
+        ) == 0.0
+
+
+class TestSampling:
+    def test_sampled_paths_are_feasible(self, paper_chain):
+        rng = np.random.default_rng(1)
+        start = StateDistribution.point(3, 1)
+        for _ in range(20):
+            trajectory = sample_trajectory(paper_chain, start, 5, rng)
+            assert len(trajectory) == 6
+            assert trajectory.probability_under(paper_chain, start) > 0
+
+    def test_negative_horizon_rejected(self, paper_chain):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValidationError):
+            sample_trajectory(
+                paper_chain, StateDistribution.point(3, 0), -1, rng
+            )
+
+
+class TestEnumeration:
+    def test_probabilities_sum_to_one(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 3)
+        total = sum(p for _, p in enumerator.worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_sum_to_one_random_chain(self):
+        rng = np.random.default_rng(3)
+        chain = random_chain(4, rng)
+        start = StateDistribution.uniform(4)
+        enumerator = PossibleWorldEnumerator(chain, start, 4)
+        assert sum(p for _, p in enumerator.worlds()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_each_world_probability_matches_chain(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 3)
+        for trajectory, probability in enumerator.worlds():
+            assert probability == pytest.approx(
+                trajectory.probability_under(paper_chain, start)
+            )
+
+    def test_exists_matches_paper(self, paper_chain, paper_window):
+        start = StateDistribution.point(3, 1)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 3)
+        assert enumerator.exists_probability(paper_window) == (
+            pytest.approx(0.864)
+        )
+
+    def test_ktimes_matches_paper(self, paper_chain, paper_window):
+        start = StateDistribution.point(3, 1)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 3)
+        assert enumerator.ktimes_distribution(paper_window) == (
+            pytest.approx([0.136, 0.672, 0.192])
+        )
+
+    def test_forall_complement_identity(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 3)
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({2, 3})
+        )
+        complement_window = window.with_region({2})
+        assert enumerator.forall_probability(window) == pytest.approx(
+            1.0 - enumerator.exists_probability(complement_window)
+        )
+
+    def test_world_limit_guard(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        enumerator = PossibleWorldEnumerator(
+            paper_chain, start, 3, max_worlds=2
+        )
+        with pytest.raises(ValidationError):
+            list(enumerator.worlds())
+
+    def test_negative_horizon_rejected(self, paper_chain):
+        with pytest.raises(ValidationError):
+            PossibleWorldEnumerator(
+                paper_chain, StateDistribution.point(3, 0), -1
+            )
+
+
+class TestConditionedEnumeration:
+    def test_posterior_sums_to_one(self, paper_chain_section6):
+        start = StateDistribution.point(3, 0)
+        enumerator = PossibleWorldEnumerator(
+            paper_chain_section6, start, 3
+        )
+        conditioned = enumerator.conditioned_on_observations(
+            [(3, StateDistribution.point(3, 1))]
+        )
+        assert sum(w for _, w in conditioned.worlds()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_observation_eliminates_worlds(self, paper_chain_section6):
+        start = StateDistribution.point(3, 0)
+        enumerator = PossibleWorldEnumerator(
+            paper_chain_section6, start, 3
+        )
+        conditioned = enumerator.conditioned_on_observations(
+            [(3, StateDistribution.point(3, 1))]
+        )
+        for trajectory, _ in conditioned.worlds():
+            assert trajectory[3] == 1
+
+    def test_infeasible_observation(self, paper_chain):
+        # from s1 the object is at s3 at t=1 with certainty
+        start = StateDistribution.point(3, 0)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 1)
+        conditioned = enumerator.conditioned_on_observations(
+            [(1, StateDistribution.point(3, 0))]
+        )
+        with pytest.raises(ValidationError):
+            list(conditioned.worlds())
+
+    def test_observation_time_outside_horizon(self, paper_chain):
+        start = StateDistribution.point(3, 0)
+        enumerator = PossibleWorldEnumerator(paper_chain, start, 2)
+        with pytest.raises(ValidationError):
+            enumerator.conditioned_on_observations(
+                [(5, StateDistribution.point(3, 0))]
+            )

@@ -1,0 +1,105 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GridStateSpace, StateDistribution
+from repro.core.errors import ValidationError
+from repro.viz import (
+    render_bar_chart,
+    render_distribution_support,
+    render_grid,
+    render_series,
+)
+
+
+class TestRenderGrid:
+    def test_dimensions(self):
+        grid = GridStateSpace(4, 3)
+        text = render_grid(grid, np.zeros(12))
+        lines = text.split("\n")
+        assert len(lines) == 3
+        assert all(len(line) == 8 for line in lines)  # 2 chars per cell
+
+    def test_title_line(self):
+        grid = GridStateSpace(2, 2)
+        text = render_grid(grid, np.zeros(4), title="Ocean")
+        assert text.startswith("Ocean\n")
+
+    def test_highlight_cells(self):
+        grid = GridStateSpace(3, 3)
+        text = render_grid(grid, np.zeros(9), highlight=[4])
+        assert "[]" in text
+
+    def test_peak_cell_uses_densest_glyph(self):
+        grid = GridStateSpace(3, 1)
+        values = np.array([0.0, 0.0, 1.0])
+        line = render_grid(grid, values)
+        assert line.endswith("@@")
+
+    def test_y_axis_points_up(self):
+        grid = GridStateSpace(1, 2)
+        values = np.zeros(2)
+        values[grid.state_of_cell(0, 1)] = 1.0  # the "top" cell
+        lines = render_grid(grid, values).split("\n")
+        assert lines[0] == "@@"   # printed first
+        assert lines[1] == "  "
+
+    def test_all_zero_grid(self):
+        grid = GridStateSpace(2, 2)
+        text = render_grid(grid, np.zeros(4))
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_shape_validation(self):
+        grid = GridStateSpace(2, 2)
+        with pytest.raises(ValidationError):
+            render_grid(grid, np.zeros(5))
+
+
+class TestRenderBarChart:
+    def test_basic(self):
+        text = render_bar_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = text.split("\n")
+        assert lines[0].startswith(" a | " + "#" * 10)
+        assert "bb | " + "#" * 5 in lines[1]
+
+    def test_title(self):
+        text = render_bar_chart(["x"], [1.0], title="T")
+        assert text.startswith("T\n")
+
+    def test_zero_values(self):
+        text = render_bar_chart(["x"], [0.0])
+        assert "#" not in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_width_validation(self):
+        with pytest.raises(ValidationError):
+            render_bar_chart(["a"], [1.0], width=0)
+
+
+class TestRenderSeries:
+    def test_blocks_per_curve(self):
+        text = render_series(
+            [1, 2], {"OB": [0.5, 0.6], "QB": [0.1, 0.2]}, title="S"
+        )
+        assert text.startswith("S\n")
+        assert "-- OB" in text
+        assert "-- QB" in text
+
+
+class TestRenderDistributionSupport:
+    def test_truncates(self):
+        dist = StateDistribution.uniform(30)
+        text = render_distribution_support(dist, limit=3)
+        assert text.count("s") == 3
+        assert "..." in text
+
+    def test_sorted_by_mass(self):
+        dist = StateDistribution([0.1, 0.7, 0.2])
+        text = render_distribution_support(dist)
+        assert text.index("s1") < text.index("s2") < text.index("s0")

@@ -1,0 +1,245 @@
+"""Tests for the three workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GridStateSpace
+from repro.core.errors import ValidationError
+from repro.workloads.icebergs import (
+    OceanCurrentField,
+    make_iceberg_chain,
+    make_iceberg_database,
+)
+from repro.workloads.road_network import (
+    RoadNetworkConfig,
+    make_road_database,
+    make_road_network,
+    make_road_transitions,
+    munich_like_config,
+    north_america_like_config,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    default_paper_window,
+    make_line_chain,
+    make_synthetic_database,
+)
+
+
+class TestSyntheticConfig:
+    def test_paper_defaults(self):
+        config = SyntheticConfig()
+        assert config.n_objects == 10_000
+        assert config.n_states == 100_000
+        assert config.object_spread == 5
+        assert config.state_spread == 5
+        assert config.max_step == 40
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(n_objects=0)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(n_states=1)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(object_spread=0)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(state_spread=0)
+        with pytest.raises(ValidationError):
+            SyntheticConfig(max_step=0)
+
+    def test_spread_exceeding_locality_rejected(self):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(state_spread=50, max_step=10)
+
+
+class TestLineChain:
+    def test_row_stochastic(self):
+        chain = make_line_chain(500, seed=0)
+        chain.validate()
+
+    def test_state_spread_out_degree(self):
+        for spread in (1, 3, 8):
+            chain = make_line_chain(
+                300, state_spread=spread, max_step=20, seed=1
+            )
+            # interior states have exactly `spread` successors
+            for state in range(50, 60):
+                assert len(chain.successors(state)) == spread
+
+    def test_max_step_locality(self):
+        max_step = 10
+        chain = make_line_chain(
+            200, state_spread=4, max_step=max_step, seed=2
+        )
+        half = max_step // 2
+        for state in range(200):
+            for successor in chain.successors(state):
+                assert abs(successor - state) <= half
+
+    def test_boundary_states_clipped(self):
+        chain = make_line_chain(100, state_spread=5, max_step=40, seed=3)
+        for successor in chain.successors(0):
+            assert 0 <= successor <= 20
+
+    def test_seed_reproducibility(self):
+        a = make_line_chain(100, seed=7)
+        b = make_line_chain(100, seed=7)
+        assert a == b
+
+
+class TestSyntheticDatabase:
+    def test_sizes(self):
+        config = SyntheticConfig(n_objects=25, n_states=500, seed=0)
+        database = make_synthetic_database(config)
+        assert len(database) == 25
+        assert database.n_states == 500
+        assert database.state_space is not None
+
+    def test_object_spread(self):
+        config = SyntheticConfig(
+            n_objects=30, n_states=400, object_spread=5, seed=1
+        )
+        database = make_synthetic_database(config)
+        for obj in database:
+            support = obj.initial.distribution.support()
+            assert len(support) == 5
+            assert max(support) - min(support) == 4  # contiguous block
+
+    def test_default_paper_window(self):
+        window = default_paper_window(n_states=1_000)
+        assert window.region == frozenset(range(100, 121))
+        assert window.times == frozenset(range(20, 26))
+
+    def test_default_window_validates_space(self):
+        from repro.core.errors import QueryError
+
+        with pytest.raises(QueryError):
+            default_paper_window(n_states=50)
+
+
+class TestRoadNetwork:
+    def test_configs_match_paper_density(self):
+        munich = munich_like_config(scale=1.0)
+        assert munich.n_nodes == 73_120
+        assert munich.n_edges == 93_925
+        assert munich.average_degree == pytest.approx(2.57, abs=0.01)
+        na = north_america_like_config(scale=1.0)
+        assert na.n_nodes == 175_813
+        assert na.n_edges == 179_102
+        assert na.average_degree == pytest.approx(2.04, abs=0.01)
+
+    def test_generated_graph_size(self):
+        config = RoadNetworkConfig("test", 400, 520, seed=0)
+        space = make_road_network(config)
+        assert space.n_states == 400
+        assert space.n_edges() == 2 * 520  # undirected, both directions
+
+    def test_every_node_has_an_edge(self):
+        config = RoadNetworkConfig("test", 300, 310, seed=1)
+        space = make_road_network(config)
+        for state in range(space.n_states):
+            assert space.out_neighbors(state)
+
+    def test_positions_exist(self):
+        config = RoadNetworkConfig("test", 50, 60, seed=2)
+        space = make_road_network(config)
+        for state in range(space.n_states):
+            x, y = space.location_of(state)
+            assert np.isfinite(x) and np.isfinite(y)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RoadNetworkConfig("bad", 1, 5)
+        with pytest.raises(ValidationError):
+            RoadNetworkConfig("bad", 10, 3)
+
+    def test_transitions_follow_adjacency(self):
+        config = RoadNetworkConfig("test", 100, 140, seed=3)
+        space = make_road_network(config)
+        chain = make_road_transitions(space, seed=4)
+        chain.validate()
+        for state in range(space.n_states):
+            assert set(chain.successors(state)) <= set(
+                space.out_neighbors(state)
+            ) | {state}
+
+    def test_database(self):
+        config = RoadNetworkConfig("test", 200, 260, seed=5)
+        database = make_road_database(config, n_objects=40)
+        assert len(database) == 40
+        for obj in database:
+            assert obj.initial.distribution.support_size() >= 1
+
+    def test_database_object_count_capped_at_nodes(self):
+        config = RoadNetworkConfig("tiny", 10, 12, seed=6)
+        database = make_road_database(config, n_objects=500)
+        assert len(database) == 10
+
+    def test_database_rejects_nonpositive_objects(self):
+        config = RoadNetworkConfig("test", 20, 25, seed=7)
+        with pytest.raises(ValidationError):
+            make_road_database(config, n_objects=0)
+
+
+class TestIcebergs:
+    def test_current_field_gyre(self):
+        field = OceanCurrentField(
+            gyre_center=(0.0, 0.0), gyre_strength=1.0, drift=(0.0, 0.0)
+        )
+        # at (1, 0) the pure gyre points in +y
+        vx, vy = field.velocity(1.0, 0.0)
+        assert vx == pytest.approx(0.0)
+        assert vy == pytest.approx(1.0)
+
+    def test_chain_is_stochastic(self):
+        grid = GridStateSpace(8, 8)
+        chain = make_iceberg_chain(grid)
+        chain.validate()
+
+    def test_drift_biases_southward(self):
+        """With a pure southward current, downward transitions dominate."""
+        grid = GridStateSpace(9, 9)
+        field = OceanCurrentField(
+            gyre_strength=0.0, drift=(0.0, -1.0)
+        )
+        chain = make_iceberg_chain(grid, field=field, diffusion=0.2)
+        center = grid.state_of_cell(4, 4)
+        south = grid.state_of_cell(4, 3)
+        north = grid.state_of_cell(4, 5)
+        assert chain.transition_probability(
+            center, south
+        ) > chain.transition_probability(center, north)
+
+    def test_parameters_validated(self):
+        grid = GridStateSpace(4, 4)
+        with pytest.raises(ValidationError):
+            make_iceberg_chain(grid, diffusion=0.0)
+        with pytest.raises(ValidationError):
+            make_iceberg_chain(grid, stay_probability=1.0)
+
+    def test_database(self):
+        grid = GridStateSpace(10, 10)
+        database = make_iceberg_database(
+            grid, n_icebergs=7, sighting_uncertainty=1, seed=0
+        )
+        assert len(database) == 7
+        for obj in database:
+            # a radius-1 sighting covers at most 9 cells
+            assert 1 <= obj.initial.distribution.support_size() <= 9
+
+    def test_database_validation(self):
+        grid = GridStateSpace(4, 4)
+        with pytest.raises(ValidationError):
+            make_iceberg_database(grid, n_icebergs=0)
+        with pytest.raises(ValidationError):
+            make_iceberg_database(grid, sighting_uncertainty=-1)
+
+    def test_precise_sightings(self):
+        grid = GridStateSpace(6, 6)
+        database = make_iceberg_database(
+            grid, n_icebergs=3, sighting_uncertainty=0, seed=1
+        )
+        for obj in database:
+            assert obj.initial.distribution.support_size() == 1
