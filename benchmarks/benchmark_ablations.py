@@ -21,7 +21,7 @@ from repro.core.object_based import ob_exists_probability
 from repro.core.query import PSTExistsQuery, SpatioTemporalWindow
 from repro.core.query_based import QueryBasedKTimesEvaluator
 
-from conftest import paper_window, synthetic_database
+from _bench_fixtures import paper_window, synthetic_database
 
 
 @pytest.mark.parametrize("backend", ["scipy", "pure"])

@@ -25,7 +25,7 @@ from repro.database.objects import UncertainObject
 from repro.core.state_space import LineStateSpace
 from repro.workloads.synthetic import make_line_chain
 
-from conftest import synthetic_database
+from _bench_fixtures import synthetic_database
 
 N_STATES = 2_000
 

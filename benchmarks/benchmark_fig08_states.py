@@ -15,7 +15,7 @@ import pytest
 from repro.core.engine import QueryEngine
 from repro.core.query import PSTExistsQuery
 
-from conftest import paper_window, synthetic_database
+from _bench_fixtures import paper_window, synthetic_database
 
 FIG8A_STATES = [2_000, 6_000, 10_000]
 FIG8B_STATES = [10_000, 30_000]

@@ -16,7 +16,7 @@ import pytest
 from repro.core.engine import QueryEngine
 from repro.core.query import PSTExistsQuery, SpatioTemporalWindow
 
-from conftest import road_database, synthetic_database
+from _bench_fixtures import road_database, synthetic_database
 
 START_TIMES = [10, 30, 50]
 

@@ -19,7 +19,7 @@ from repro.core.naive import naive_exists_probability
 from repro.core.query import SpatioTemporalWindow
 from repro.core.query_based import QueryBasedEvaluator
 
-from conftest import synthetic_database
+from _bench_fixtures import synthetic_database
 
 WINDOW_LENGTHS = [2, 6, 10]
 

@@ -21,7 +21,7 @@ from repro.core.query import (
     SpatioTemporalWindow,
 )
 
-from conftest import synthetic_database
+from _bench_fixtures import synthetic_database
 
 WINDOW_LENGTHS = [2, 6, 10]
 N_OBJECTS = 60

@@ -16,7 +16,7 @@ import pytest
 from repro.core.engine import QueryEngine
 from repro.core.query import PSTExistsQuery
 
-from conftest import paper_window, synthetic_database
+from _bench_fixtures import paper_window, synthetic_database
 
 MAX_STEPS = [20, 60, 100]
 STATE_SPREADS = [4, 12, 20]

@@ -23,6 +23,12 @@ Quickstart::
     p = repro.ob_exists_probability(chain, start, window)   # 0.864
 """
 
+from repro.core.batch import (
+    backward_vectors,
+    batch_exists_multi,
+    batch_ob_exists,
+    batch_qb_exists,
+)
 from repro.core.distribution import StateDistribution
 from repro.core.engine import QueryEngine, QueryResult
 from repro.core.errors import (
@@ -88,6 +94,7 @@ from repro.core.object_based import (
     ob_forall_probability,
 )
 from repro.core.observation import Observation, ObservationSet
+from repro.core.plan_cache import PlanCache, PlanCacheStats
 from repro.core.query import (
     PSTExistsQuery,
     PSTForAllQuery,
@@ -159,6 +166,12 @@ __all__ = [
     "build_doubled_matrices",
     "build_ktimes_block_matrices",
     # processors
+    "batch_ob_exists",
+    "batch_qb_exists",
+    "batch_exists_multi",
+    "backward_vectors",
+    "PlanCache",
+    "PlanCacheStats",
     "ob_exists_probability",
     "ob_forall_probability",
     "ob_exists_probability_multi",

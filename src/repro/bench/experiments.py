@@ -25,6 +25,7 @@ from repro.core.distribution import StateDistribution
 from repro.core.engine import QueryEngine
 from repro.core.errors import ValidationError
 from repro.core.ktimes import ktimes_distribution
+from repro.core.matrices import build_absorbing_matrices
 from repro.core.naive import naive_exists_probability
 from repro.core.object_based import ob_exists_probability
 from repro.core.query import (
@@ -550,7 +551,67 @@ def ablation_ktimes_algorithms(scale: float = 1.0) -> ExperimentSeries:
     return result
 
 
+def batching(scale: float = 1.0) -> ExperimentSeries:
+    """ISSUE 1: batched + plan-cached evaluation vs per-object OB.
+
+    The per-object curve rebuilds the absorbing matrices every query
+    and runs one forward pass per object; the batched curves stack all
+    objects into one product per timestep, cold (first query, cache
+    empty) and warm (repeated query, construction cached).
+    """
+    result = ExperimentSeries(
+        experiment_id="batching",
+        title="Batched evaluation + plan cache vs per-object processing",
+        x_label="objects",
+        y_label="runtime (s)",
+        notes="single shared chain; warm = identical query repeated "
+              "against the engine's hot plan cache",
+    )
+    n_states = _scaled(2_000, scale, minimum=300)
+    for n_objects in [100, 250, 500]:
+        n_objects = _scaled(n_objects, scale)
+        database = make_synthetic_database(
+            SyntheticConfig(
+                n_objects=n_objects, n_states=n_states, seed=53
+            )
+        )
+        chain = database.chain()
+        window = _window(n_states)
+        query = PSTExistsQuery(window)
+        objects = list(database)
+
+        def per_object() -> None:
+            matrices = build_absorbing_matrices(chain, window.region)
+            for obj in objects:
+                ob_exists_probability(
+                    chain,
+                    obj.initial.distribution,
+                    window,
+                    start_time=obj.initial.time,
+                    matrices=matrices,
+                )
+
+        engine = QueryEngine(database)
+        result.x_values.append(n_objects)
+        result.add_point("per-object OB", measure_seconds(per_object))
+        result.add_point(
+            "batched OB (cold cache)",
+            measure_seconds(
+                lambda: engine.evaluate(query, method="ob")
+            ),
+        )
+        result.add_point(
+            "batched OB (warm cache)",
+            measure_seconds(
+                lambda: engine.evaluate(query, method="ob")
+            ),
+        )
+    result.validate()
+    return result
+
+
 EXPERIMENTS: Dict[str, Callable[[float], ExperimentSeries]] = {
+    "batching": batching,
     "fig8a": fig8a,
     "fig8b": fig8b,
     "fig9a": fig9a,

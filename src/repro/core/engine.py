@@ -24,17 +24,15 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.batch import (
+    batch_exists_multi,
+    batch_ob_exists,
+    batch_qb_exists,
+)
 from repro.core.errors import QueryError, ValidationError
 from repro.core.ktimes import ktimes_distribution
-from repro.core.matrices import (
-    build_absorbing_matrices,
-    build_doubled_matrices,
-)
 from repro.core.montecarlo import MonteCarloSampler
-from repro.core.object_based import (
-    ob_exists_probability,
-    ob_exists_probability_multi,
-)
+from repro.core.plan_cache import PlanCache
 from repro.core.query import (
     PSTExistsQuery,
     PSTForAllQuery,
@@ -42,7 +40,6 @@ from repro.core.query import (
     PSTQuery,
     SpatioTemporalWindow,
 )
-from repro.core.query_based import QueryBasedEvaluator
 from repro.database.pruning import ReachabilityPruner
 from repro.database.uncertain_db import TrajectoryDatabase
 
@@ -103,16 +100,32 @@ class QueryResult:
 class QueryEngine:
     """Evaluates PST queries over a trajectory database.
 
+    Objects sharing a chain are evaluated *batched*: their distribution
+    vectors are stacked and advanced with one product per timestep (see
+    :mod:`repro.core.batch`).  Augmented matrices and backward vectors
+    are reused across queries through the engine's
+    :class:`~repro.core.plan_cache.PlanCache`, so monitoring workloads
+    that re-issue windows over the same chains pay construction once.
+
     Args:
         database: the database to query.
         backend: linear-algebra backend name (default scipy).
+        plan_cache: cache for matrices/backward vectors; a private one
+            is created when omitted.  Pass a shared instance to
+            amortise construction across several engines.
     """
 
     def __init__(
-        self, database: TrajectoryDatabase, backend: Optional[str] = None
+        self,
+        database: TrajectoryDatabase,
+        backend: Optional[str] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.database = database
         self.backend = backend
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else PlanCache()
+        )
 
     # ------------------------------------------------------------------
     # public entry point
@@ -186,6 +199,7 @@ class QueryEngine:
             region,
             horizon,
             start_time=obj.initial.time,
+            plan_cache=self.plan_cache,
         )
 
     def nearest_neighbor(self, location, time: int) -> Dict[str, float]:
@@ -234,6 +248,16 @@ class QueryEngine:
     ) -> Dict[str, ResultValue]:
         values: Dict[str, ResultValue] = {}
         groups = self.database.objects_by_chain()
+
+        # One pruner (and one reverse BFS per chain) for the whole
+        # evaluation, shared across all chain groups.
+        surviving = None
+        if prune and method != "mc":
+            pruner = ReachabilityPruner(self.database)
+            surviving = {
+                obj.object_id for obj in pruner.candidates(window)
+            }
+
         for chain_id, objects in groups.items():
             chain = self.database.chain(chain_id)
             if method == "mc":
@@ -253,14 +277,14 @@ class QueryEngine:
                     values[obj.object_id] = estimate.estimate
                 continue
 
-            if prune:
-                pruner = ReachabilityPruner(self.database)
-                surviving = {
-                    obj.object_id
-                    for obj in pruner.candidates(window)
-                }
-            else:
-                surviving = None
+            if surviving is not None:
+                for obj in objects:
+                    if obj.object_id not in surviving:
+                        values[obj.object_id] = 0.0
+                objects = [
+                    obj for obj in objects
+                    if obj.object_id in surviving
+                ]
 
             single = [
                 obj for obj in objects
@@ -270,62 +294,31 @@ class QueryEngine:
                 obj for obj in objects if obj.has_multiple_observations()
             ]
 
-            if method == "qb" and single:
-                evaluators: Dict[int, QueryBasedEvaluator] = {}
-                for obj in single:
-                    if surviving is not None and (
-                        obj.object_id not in surviving
-                    ):
-                        values[obj.object_id] = 0.0
-                        continue
-                    start = obj.initial.time
-                    evaluator = evaluators.get(start)
-                    if evaluator is None:
-                        evaluator = QueryBasedEvaluator(
-                            chain,
-                            window,
-                            start_time=start,
-                            backend=self.backend,
-                        )
-                        evaluators[start] = evaluator
-                    values[obj.object_id] = evaluator.probability(
-                        obj.initial.distribution
-                    )
-            elif single:  # ob
-                matrices = build_absorbing_matrices(
-                    chain, window.region, self.backend
+            if single:
+                evaluate = (
+                    batch_qb_exists if method == "qb" else batch_ob_exists
                 )
-                for obj in single:
-                    if surviving is not None and (
-                        obj.object_id not in surviving
-                    ):
-                        values[obj.object_id] = 0.0
-                        continue
-                    values[obj.object_id] = ob_exists_probability(
-                        chain,
-                        obj.initial.distribution,
-                        window,
-                        start_time=obj.initial.time,
-                        matrices=matrices,
-                        backend=self.backend,
-                    )
+                probabilities = evaluate(
+                    chain,
+                    [obj.initial.distribution for obj in single],
+                    window,
+                    start_times=[obj.initial.time for obj in single],
+                    backend=self.backend,
+                    plan_cache=self.plan_cache,
+                )
+                for obj, probability in zip(single, probabilities):
+                    values[obj.object_id] = float(probability)
 
             if multi:  # Section VI path for both qb and ob
-                doubled = build_doubled_matrices(
-                    chain, window.region, self.backend
+                probabilities = batch_exists_multi(
+                    chain,
+                    [obj.observations for obj in multi],
+                    window,
+                    backend=self.backend,
+                    plan_cache=self.plan_cache,
                 )
-                for obj in multi:
-                    if surviving is not None and (
-                        obj.object_id not in surviving
-                    ):
-                        values[obj.object_id] = 0.0
-                        continue
-                    values[obj.object_id] = ob_exists_probability_multi(
-                        chain,
-                        obj.observations,
-                        window,
-                        matrices=doubled,
-                    )
+                for obj, probability in zip(multi, probabilities):
+                    values[obj.object_id] = float(probability)
         return values
 
     # ------------------------------------------------------------------

@@ -49,12 +49,18 @@ class MarkovChain:
         NotStochasticError: when validation fails.
     """
 
-    __slots__ = ("_matrix", "_transpose_cache", "_successors_cache")
+    __slots__ = (
+        "_matrix",
+        "_transpose_cache",
+        "_successors_cache",
+        "_fingerprint_cache",
+    )
 
     def __init__(self, matrix, validate: bool = True) -> None:
         self._matrix = self._coerce(matrix)
         self._transpose_cache: Optional[sp.csr_matrix] = None
         self._successors_cache: Optional[List[np.ndarray]] = None
+        self._fingerprint_cache: Optional[str] = None
         if validate:
             self.validate()
 
@@ -247,6 +253,26 @@ class MarkovChain:
         if self._transpose_cache is None:
             self._transpose_cache = self._matrix.transpose().tocsr()
         return self._transpose_cache
+
+    def fingerprint(self) -> str:
+        """A content hash of the transition matrix (cached).
+
+        Two chains with identical sparsity structure and values share the
+        fingerprint, so cross-query caches keyed on it (see
+        :mod:`repro.core.plan_cache`) survive database reloads and
+        equal-by-value chain copies.
+        """
+        if self._fingerprint_cache is None:
+            import hashlib
+
+            matrix = self._matrix
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(repr(matrix.shape).encode())
+            digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
+            digest.update(np.ascontiguousarray(matrix.indices).tobytes())
+            digest.update(np.ascontiguousarray(matrix.data).tobytes())
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------
     # reachability (used for pruning, Section V-C discussion)

@@ -54,18 +54,22 @@ __all__ = [
 ]
 
 
-def _split_triples(
+def _coo_arrays(
     chain: MarkovChain, region: FrozenSet[int]
-) -> Tuple[List[Tuple[int, int, float]], List[Tuple[int, int, float]]]:
-    """Partition the chain's transitions by target-in-region."""
-    inside: List[Tuple[int, int, float]] = []
-    outside: List[Tuple[int, int, float]] = []
-    for i, j, value in chain.triples():
-        if j in region:
-            inside.append((i, j, value))
-        else:
-            outside.append((i, j, value))
-    return inside, outside
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The chain's transitions as ``(rows, cols, values, target_inside)``.
+
+    ``target_inside`` is the boolean mask of entries whose target column
+    lies in ``region`` -- the partition every augmented construction
+    needs, computed without a Python-level triple loop.
+    """
+    coo = chain.matrix.tocoo()
+    rows = np.asarray(coo.row, dtype=np.int64)
+    cols = np.asarray(coo.col, dtype=np.int64)
+    values = np.asarray(coo.data, dtype=float)
+    region_states = np.fromiter(region, dtype=np.int64, count=len(region))
+    inside = np.isin(cols, region_states)
+    return rows, cols, values, inside
 
 
 def _check_region(chain: MarkovChain, region: Iterable[int]) -> FrozenSet[int]:
@@ -234,24 +238,33 @@ def build_absorbing_matrices(
     linalg = get_backend(backend)
     n = chain.n_states
     top = n
-    inside, outside = _split_triples(chain, frozen)
+    rows, cols, values, inside = _coo_arrays(chain, frozen)
 
-    minus_triples = [(i, j, v) for i, j, v in chain.triples()]
-    minus_triples.append((top, top, 1.0))
+    minus_rows = np.append(rows, top)
+    minus_cols = np.append(cols, top)
+    minus_vals = np.append(values, 1.0)
 
-    redirected = np.zeros(n, dtype=float)
-    for i, _, value in inside:
-        redirected[i] += value
-    plus_triples = list(outside)
-    for i in np.nonzero(redirected)[0]:
-        plus_triples.append((int(i), top, float(redirected[i])))
-    plus_triples.append((top, top, 1.0))
+    redirected = np.bincount(
+        rows[inside], weights=values[inside], minlength=n
+    )
+    sources = np.nonzero(redirected)[0]
+    plus_rows = np.concatenate([rows[~inside], sources, [top]])
+    plus_cols = np.concatenate([
+        cols[~inside], np.full(sources.size, top, dtype=np.int64), [top]
+    ])
+    plus_vals = np.concatenate([
+        values[~inside], redirected[sources], [1.0]
+    ])
 
     return AbsorbingMatrices(
         n_states=n,
         region=frozen,
-        m_minus=linalg.from_coo(n + 1, n + 1, minus_triples),
-        m_plus=linalg.from_coo(n + 1, n + 1, plus_triples),
+        m_minus=linalg.build_coo(
+            n + 1, n + 1, minus_rows, minus_cols, minus_vals
+        ),
+        m_plus=linalg.build_coo(
+            n + 1, n + 1, plus_rows, plus_cols, plus_vals
+        ),
         backend=linalg,
     )
 
@@ -265,24 +278,32 @@ def build_doubled_matrices(
     frozen = _check_region(chain, region)
     linalg = get_backend(backend)
     n = chain.n_states
-    inside, outside = _split_triples(chain, frozen)
+    rows, cols, values, inside = _coo_arrays(chain, frozen)
 
-    minus_triples: List[Tuple[int, int, float]] = []
-    plus_triples: List[Tuple[int, int, float]] = []
-    for i, j, value in chain.triples():
-        minus_triples.append((i, j, value))          # block (1,1): M
-        minus_triples.append((n + i, n + j, value))  # block (2,2): M
-        plus_triples.append((n + i, n + j, value))   # block (2,2): M
-    for i, j, value in outside:
-        plus_triples.append((i, j, value))           # block (1,1): M - M_in
-    for i, j, value in inside:
-        plus_triples.append((i, n + j, value))       # block (1,2): M_in
+    # minus: blocks (1,1) and (2,2) both hold M
+    minus_rows = np.concatenate([rows, rows + n])
+    minus_cols = np.concatenate([cols, cols + n])
+    minus_vals = np.concatenate([values, values])
+    # plus: block (2,2) holds M, (1,1) holds M - M_in, (1,2) holds M_in
+    plus_rows = np.concatenate([
+        rows + n, rows[~inside], rows[inside]
+    ])
+    plus_cols = np.concatenate([
+        cols + n, cols[~inside], cols[inside] + n
+    ])
+    plus_vals = np.concatenate([
+        values, values[~inside], values[inside]
+    ])
 
     return DoubledMatrices(
         n_states=n,
         region=frozen,
-        m_minus=linalg.from_coo(2 * n, 2 * n, minus_triples),
-        m_plus=linalg.from_coo(2 * n, 2 * n, plus_triples),
+        m_minus=linalg.build_coo(
+            2 * n, 2 * n, minus_rows, minus_cols, minus_vals
+        ),
+        m_plus=linalg.build_coo(
+            2 * n, 2 * n, plus_rows, plus_cols, plus_vals
+        ),
         backend=linalg,
     )
 
@@ -318,26 +339,46 @@ def build_ktimes_block_matrices(
     linalg = get_backend(backend)
     n = chain.n_states
     blocks = n_query_times + 1
-    inside, outside = _split_triples(chain, frozen)
+    rows, cols, values, inside = _coo_arrays(chain, frozen)
 
-    minus_triples: List[Tuple[int, int, float]] = []
-    plus_triples: List[Tuple[int, int, float]] = []
+    minus_rows: List[np.ndarray] = []
+    minus_cols: List[np.ndarray] = []
+    minus_vals: List[np.ndarray] = []
+    plus_rows: List[np.ndarray] = []
+    plus_cols: List[np.ndarray] = []
+    plus_vals: List[np.ndarray] = []
     for b in range(blocks):
         offset = b * n
-        for i, j, value in chain.triples():
-            minus_triples.append((offset + i, offset + j, value))
+        minus_rows.append(rows + offset)
+        minus_cols.append(cols + offset)
+        minus_vals.append(values)
         if b < blocks - 1:
-            for i, j, value in outside:
-                plus_triples.append((offset + i, offset + j, value))
-            for i, j, value in inside:
-                plus_triples.append((offset + i, offset + n + j, value))
+            plus_rows.append(rows[~inside] + offset)
+            plus_cols.append(cols[~inside] + offset)
+            plus_vals.append(values[~inside])
+            plus_rows.append(rows[inside] + offset)
+            plus_cols.append(cols[inside] + offset + n)
+            plus_vals.append(values[inside])
         else:
             # the count saturates: the final block keeps the full chain
-            for i, j, value in chain.triples():
-                plus_triples.append((offset + i, offset + j, value))
+            plus_rows.append(rows + offset)
+            plus_cols.append(cols + offset)
+            plus_vals.append(values)
 
     size = blocks * n
     return (
-        linalg.from_coo(size, size, minus_triples),
-        linalg.from_coo(size, size, plus_triples),
+        linalg.build_coo(
+            size,
+            size,
+            np.concatenate(minus_rows),
+            np.concatenate(minus_cols),
+            np.concatenate(minus_vals),
+        ),
+        linalg.build_coo(
+            size,
+            size,
+            np.concatenate(plus_rows),
+            np.concatenate(plus_cols),
+            np.concatenate(plus_vals),
+        ),
     )

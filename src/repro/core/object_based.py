@@ -31,13 +31,9 @@ from repro.core.errors import (
     ValidationError,
 )
 from repro.core.markov import MarkovChain
-from repro.core.matrices import (
-    AbsorbingMatrices,
-    DoubledMatrices,
-    build_absorbing_matrices,
-    build_doubled_matrices,
-)
+from repro.core.matrices import AbsorbingMatrices, DoubledMatrices
 from repro.core.observation import ObservationSet
+from repro.core.plan_cache import resolve_absorbing, resolve_doubled
 from repro.core.query import SpatioTemporalWindow
 from repro.linalg.ops import vecmat
 
@@ -71,6 +67,7 @@ def ob_exists_probability(
     backend: Optional[str] = None,
     stop_at_probability: Optional[float] = None,
     prune: bool = False,
+    plan_cache=None,
 ) -> float:
     """PST-exists probability of one object, object-based (Section V-A).
 
@@ -91,6 +88,9 @@ def ob_exists_probability(
             (the paper's early-termination note in Section V-C).
         prune: restrict the computation to states reachable from the
             initial support within the horizon (the paper's ``S_reach``).
+        plan_cache: optional :class:`~repro.core.plan_cache.PlanCache`
+            supplying the absorbing matrices across calls (ignored when
+            ``matrices`` is given or ``prune`` restricts the chain).
 
     Returns:
         ``P_exists(o, S_q, T_q)`` -- exact up to float arithmetic (or a
@@ -108,12 +108,9 @@ def ob_exists_probability(
             chain, initial, window, start_time, backend, stop_at_probability
         )
 
-    if matrices is None:
-        matrices = build_absorbing_matrices(chain, window.region, backend)
-    elif matrices.region != window.region:
-        raise QueryError(
-            "pre-built matrices were constructed for a different region"
-        )
+    matrices = resolve_absorbing(
+        chain, window.region, backend, plan_cache, matrices
+    )
 
     vector = matrices.extend_initial(
         np.asarray(initial.vector, dtype=float), start_time, window.times
@@ -195,6 +192,7 @@ def ob_exists_probability_multi(
     window: SpatioTemporalWindow,
     matrices: Optional[DoubledMatrices] = None,
     backend: Optional[str] = None,
+    plan_cache=None,
 ) -> float:
     """PST-exists with multiple observations (Section VI).
 
@@ -217,12 +215,9 @@ def ob_exists_probability_multi(
     first = observations.first
     _check_window(chain, window, first.time)
 
-    if matrices is None:
-        matrices = build_doubled_matrices(chain, window.region, backend)
-    elif matrices.region != window.region:
-        raise QueryError(
-            "pre-built matrices were constructed for a different region"
-        )
+    matrices = resolve_doubled(
+        chain, window.region, backend, plan_cache, matrices
+    )
 
     later = {
         observation.time: observation

@@ -23,9 +23,9 @@ from repro.core.errors import QueryError, ValidationError
 from repro.core.markov import MarkovChain
 from repro.core.matrices import (
     AbsorbingMatrices,
-    build_absorbing_matrices,
     build_ktimes_block_matrices,
 )
+from repro.core.plan_cache import resolve_absorbing
 from repro.core.query import SpatioTemporalWindow
 from repro.linalg.ops import matvec
 
@@ -50,6 +50,8 @@ class QueryBasedEvaluator:
         start_time: the observation timestamp the backward pass stops at.
         matrices: pre-built absorbing matrices (reused when given).
         backend: linear-algebra backend name.
+        plan_cache: optional :class:`~repro.core.plan_cache.PlanCache`
+            supplying the matrices (ignored when ``matrices`` is given).
     """
 
     def __init__(
@@ -59,6 +61,7 @@ class QueryBasedEvaluator:
         start_time: int = 0,
         matrices: Optional[AbsorbingMatrices] = None,
         backend: Optional[str] = None,
+        plan_cache=None,
     ) -> None:
         window.validate_for(chain.n_states)
         if start_time < 0:
@@ -70,14 +73,9 @@ class QueryBasedEvaluator:
                 f"query time {window.t_start} precedes start_time "
                 f"{start_time}"
             )
-        if matrices is None:
-            matrices = build_absorbing_matrices(
-                chain, window.region, backend
-            )
-        elif matrices.region != window.region:
-            raise QueryError(
-                "pre-built matrices were constructed for a different region"
-            )
+        matrices = resolve_absorbing(
+            chain, window.region, backend, plan_cache, matrices
+        )
         self.chain = chain
         self.window = window
         self.start_time = start_time
@@ -155,14 +153,21 @@ def qb_exists_probability(
     window: SpatioTemporalWindow,
     start_time: int = 0,
     backend: Optional[str] = None,
+    plan_cache=None,
 ) -> float:
     """One-shot QB PST-exists (builds the evaluator and answers once).
 
     Prefer constructing a :class:`QueryBasedEvaluator` explicitly when
-    several objects share the chain -- that is the whole point of QB.
+    several objects share the chain -- that is the whole point of QB --
+    or pass a :class:`~repro.core.plan_cache.PlanCache` so repeated
+    calls reuse the matrices.
     """
     evaluator = QueryBasedEvaluator(
-        chain, window, start_time=start_time, backend=backend
+        chain,
+        window,
+        start_time=start_time,
+        backend=backend,
+        plan_cache=plan_cache,
     )
     return evaluator.probability(initial)
 

@@ -28,8 +28,8 @@ import numpy as np
 from repro.core.distribution import StateDistribution
 from repro.core.errors import QueryError, ValidationError
 from repro.core.markov import MarkovChain
-from repro.core.matrices import build_absorbing_matrices
 from repro.core.naive import region_marginals
+from repro.core.plan_cache import resolve_absorbing
 from repro.core.query import SpatioTemporalWindow
 
 __all__ = [
@@ -101,6 +101,7 @@ def first_passage_distribution(
     region: Iterable[int],
     horizon: int,
     start_time: int = 0,
+    plan_cache=None,
 ) -> FirstPassageResult:
     """Distribution of the first time the object enters ``region``.
 
@@ -114,6 +115,9 @@ def first_passage_distribution(
         region: the target region.
         horizon: last timestamp to account for (``>= start_time``).
         start_time: the observation timestamp.
+        plan_cache: optional :class:`~repro.core.plan_cache.PlanCache`
+            supplying the absorbing matrices, so repeated analyses over
+            the same ``(chain, region)`` skip construction.
     """
     if initial.n_states != chain.n_states:
         raise ValidationError(
@@ -131,7 +135,7 @@ def first_passage_distribution(
         raise QueryError(
             f"region state {max(frozen)} outside [0, {chain.n_states})"
         )
-    matrices = build_absorbing_matrices(chain, frozen)
+    matrices = resolve_absorbing(chain, frozen, plan_cache=plan_cache)
     steps = horizon - start_time
     all_times = frozenset(range(start_time, horizon + 1))
     vector = matrices.extend_initial(

@@ -35,6 +35,7 @@ __all__ = [
     "Backend",
     "available_backends",
     "get_backend",
+    "matmat",
     "matvec",
     "vecmat",
 ]
@@ -52,7 +53,11 @@ class Backend:
         transpose: return the transposed matrix (CSR again).
         vecmat: row-vector times matrix.
         matvec: matrix times column-vector.
+        matmat: dense row-stack times sparse matrix (batched vecmat).
         zeros_vector: an all-zero vector of length ``n``.
+        from_coo_arrays: build a CSR matrix from parallel numpy
+            ``(rows, cols, values)`` arrays without a Python-level
+            triple loop; None when the backend has no fast path.
     """
 
     name: str
@@ -62,7 +67,27 @@ class Backend:
     transpose: Callable[[Any], Any]
     vecmat: Callable[[Any, Any], Any]
     matvec: Callable[[Any, Any], Any]
+    matmat: Callable[[Any, Any], Any]
     zeros_vector: Callable[[int], Any]
+    from_coo_arrays: Optional[Callable[[int, int, Any, Any, Any], Any]] = (
+        None
+    )
+
+    def build_coo(self, nrows: int, ncols: int, rows, cols, values) -> Any:
+        """CSR matrix from parallel coordinate arrays.
+
+        Routes to the backend's vectorised constructor when available,
+        else falls back to the generic triple path.
+        """
+        if self.from_coo_arrays is not None:
+            return self.from_coo_arrays(nrows, ncols, rows, cols, values)
+        return self.from_coo(
+            nrows, ncols, zip(
+                (int(i) for i in rows),
+                (int(j) for j in cols),
+                (float(v) for v in values),
+            )
+        )
 
 
 def _pure_backend() -> Backend:
@@ -76,6 +101,7 @@ def _pure_backend() -> Backend:
         transpose=lambda m: m.transpose(),
         vecmat=lambda x, m: m.vecmat(list(x)),
         matvec=lambda m, x: m.matvec(list(x)),
+        matmat=lambda rows, m: [m.vecmat(list(row)) for row in rows],
         zeros_vector=lambda n: [0.0] * n,
     )
 
@@ -106,7 +132,21 @@ def _scipy_backend() -> Backend:
         transpose=lambda m: m.transpose().tocsr(),
         vecmat=lambda x, m: _np.asarray(x, dtype=float) @ m,
         matvec=lambda m, x: m @ _np.asarray(x, dtype=float),
+        matmat=lambda rows, m: _np.asarray(rows, dtype=float) @ m,
         zeros_vector=lambda n: _np.zeros(n, dtype=float),
+        from_coo_arrays=lambda nrows, ncols, rows, cols, vals: (
+            _sp.csr_matrix(
+                (
+                    _np.asarray(vals, dtype=float),
+                    (
+                        _np.asarray(rows, dtype=_np.int64),
+                        _np.asarray(cols, dtype=_np.int64),
+                    ),
+                ),
+                shape=(nrows, ncols),
+                dtype=float,
+            )
+        ),
     )
 
 
@@ -155,4 +195,19 @@ def matvec(matrix: Any, x: Any) -> Any:
         return matrix.matvec(list(x))
     if _HAVE_SCIPY:
         return matrix @ _np.asarray(x, dtype=float)
+    raise BackendError(f"unsupported matrix type {type(matrix)!r}")
+
+
+def matmat(rows: Any, matrix: Any) -> Any:
+    """Row-stack times matrix: one product advancing many objects at once.
+
+    ``rows`` is an ``(n_objects, size)`` stack of distribution vectors;
+    the result is the same stack after one transition.  This is the
+    batched form of :func:`vecmat` -- per row the two agree exactly, but
+    a single product amortises the sparse traversal over all objects.
+    """
+    if isinstance(matrix, CSRMatrix):
+        return [matrix.vecmat(list(row)) for row in rows]
+    if _HAVE_SCIPY:
+        return _np.asarray(rows, dtype=float) @ matrix
     raise BackendError(f"unsupported matrix type {type(matrix)!r}")

@@ -139,8 +139,10 @@ class TestExperimentRegistry:
         ob = series.curve("OB")
         qb = series.curve("QB")
         assert all(o > q for o, q in zip(ob, qb))
-        # OB grows with the horizon: the last point beats the first
-        assert ob[-1] > ob[0]
+        # OB grows with the horizon; compare half-sums -- at toy scale
+        # the batched sweep makes single points timing-noise territory
+        half = len(ob) // 2
+        assert sum(ob[half:]) > sum(ob[:half])
 
 
 class TestCli:

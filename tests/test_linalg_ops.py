@@ -10,6 +10,7 @@ from repro.core.errors import BackendError
 from repro.linalg.ops import (
     available_backends,
     get_backend,
+    matmat,
     matvec,
     vecmat,
 )
@@ -119,3 +120,45 @@ class TestModuleLevelDispatch:
         assert np.allclose(
             vecmat(x, pure), np.asarray(vecmat(x, scipy_matrix))
         )
+
+
+class TestMatmat:
+    """The batched row-stack product, both per-backend and dispatched."""
+
+    @pytest.fixture(params=["pure", "scipy"])
+    def backend(self, request):
+        return get_backend(request.param)
+
+    def test_backend_matmat_matches_rowwise_vecmat(self, backend):
+        matrix = backend.from_coo(3, 3, TRIPLES)
+        stack = [[0.2, 0.3, 0.5], [1.0, 0.0, 0.0], [0.0, 0.5, 0.5]]
+        product = np.asarray(backend.matmat(stack, matrix))
+        for row, expected in zip(stack, product):
+            assert np.allclose(
+                np.asarray(backend.vecmat(row, matrix)), expected
+            )
+
+    def test_module_dispatch_matches_backends(self):
+        stack = np.array([[0.2, 0.3, 0.5], [0.0, 1.0, 0.0]])
+        scipy_matrix = get_backend("scipy").from_coo(3, 3, TRIPLES)
+        pure_matrix = get_backend("pure").from_coo(3, 3, TRIPLES)
+        assert np.allclose(
+            matmat(stack, scipy_matrix),
+            np.asarray(matmat(stack.tolist(), pure_matrix)),
+        )
+
+    def test_build_coo_matches_from_coo(self, backend):
+        rows = np.array([t[0] for t in TRIPLES])
+        cols = np.array([t[1] for t in TRIPLES])
+        vals = np.array([t[2] for t in TRIPLES])
+        built = backend.build_coo(3, 3, rows, cols, vals)
+        reference = backend.from_coo(3, 3, TRIPLES)
+        x = [0.1, 0.2, 0.7]
+        assert np.allclose(
+            np.asarray(backend.vecmat(x, built)),
+            np.asarray(backend.vecmat(x, reference)),
+        )
+
+    def test_scipy_has_array_fast_path(self):
+        assert get_backend("scipy").from_coo_arrays is not None
+        assert get_backend("pure").from_coo_arrays is None

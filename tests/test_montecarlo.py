@@ -173,3 +173,54 @@ class TestWindowChecks:
         window = SpatioTemporalWindow(frozenset({0}), frozenset({0}))
         result = sampler.exists_probability(start, window, 100)
         assert result.estimate == 1.0
+
+
+class TestCdfTable:
+    """The vectorised row-CDF table and its grouped fallback."""
+
+    def test_table_built_lazily_once(self, paper_chain):
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        assert sampler._cdf_table is None
+        sampler.sample_paths(StateDistribution.point(3, 1), 4, 32)
+        table = sampler._cdf_table
+        assert table is not None
+        sampler.sample_paths(StateDistribution.point(3, 1), 4, 32)
+        assert sampler._cdf_table is table
+
+    def test_table_rows_end_at_one(self, paper_chain):
+        sampler = MonteCarloSampler(paper_chain, seed=0)
+        sampler.sample_paths(StateDistribution.point(3, 1), 1, 8)
+        cdf, targets = sampler._cdf_table
+        assert np.allclose(cdf[:, -1], 1.0)
+        assert targets.shape == cdf.shape
+
+    def test_fallback_paths_follow_transitions(
+        self, paper_chain, monkeypatch
+    ):
+        sampler = MonteCarloSampler(paper_chain, seed=3)
+        monkeypatch.setattr(sampler, "_CDF_TABLE_MAX_BYTES", 0)
+        paths = sampler.sample_paths(
+            StateDistribution.point(3, 1), horizon=5, n_samples=40
+        )
+        assert sampler._cdf_table is None
+        for path in paths:
+            for a, b in zip(path, path[1:]):
+                assert paper_chain.transition_probability(
+                    int(a), int(b)
+                ) > 0
+
+    def test_fallback_converges_like_table(self, paper_chain):
+        start = StateDistribution.point(3, 1)
+        window = SpatioTemporalWindow(
+            frozenset({0, 1}), frozenset({2, 3})
+        )
+        table = MonteCarloSampler(paper_chain, seed=9).exists_probability(
+            start, window, 20_000
+        )
+        fallback_sampler = MonteCarloSampler(paper_chain, seed=9)
+        fallback_sampler._CDF_TABLE_MAX_BYTES = 0
+        fallback = fallback_sampler.exists_probability(
+            start, window, 20_000
+        )
+        assert table.estimate == pytest.approx(0.864, abs=0.01)
+        assert fallback.estimate == pytest.approx(0.864, abs=0.01)
