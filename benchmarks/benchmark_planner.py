@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Cost-based planning + filter-refinement vs the unpruned batched path.
+
+The workload is the ISSUE-2 acceptance scenario: a selective window at
+the low end of a large line state space, objects spread uniformly
+across *two* chains (so the planner also dispatches chain groups in
+parallel), repeated as a monitoring loop would repeat it.  Two
+strategies are timed:
+
+* ``unpruned``  -- the PR-1 batched engine path: forced QB, all filter
+  stages off (``PlanOptions(prefilter=False, bfs_prune=False)``);
+* ``planned``   -- ``method="auto"``: the cost model picks a method per
+  chain group and the R-tree prefilter + BFS reachability stages
+  eliminate most objects before any kernel runs.
+
+The script asserts that
+
+* both strategies agree to 1e-12 on every object,
+* the geometric prefilter eliminates at least 80% of the database
+  (the ISSUE-2 selectivity floor),
+* the EXPLAIN stage cardinalities are monotonically non-increasing,
+* the planned path is at least 3x faster over the monitoring loop
+  (1x in ``--smoke`` mode, which runs a seconds-scale configuration).
+
+Run:  PYTHONPATH=src python benchmarks/benchmark_planner.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+from repro import (
+    PlanOptions,
+    PSTExistsQuery,
+    QueryEngine,
+    SpatioTemporalWindow,
+    TrajectoryDatabase,
+    UncertainObject,
+)
+from repro.core.state_space import LineStateSpace
+from repro.workloads.synthetic import (
+    make_line_chain,
+    make_object_distribution,
+)
+
+UNPRUNED = PlanOptions(prefilter=False, bfs_prune=False)
+
+
+def build_database(
+    n_objects: int, n_states: int, seed: int
+) -> TrajectoryDatabase:
+    """Uniformly spread objects over two chains of one line space."""
+    rng = np.random.default_rng(seed)
+    database = TrajectoryDatabase(
+        n_states, state_space=LineStateSpace(n_states)
+    )
+    for chain_id in ("cars", "trucks"):
+        # the chains differ by consuming the shared rng stream in turn
+        database.register_chain(
+            chain_id, make_line_chain(n_states, rng=rng)
+        )
+    for index in range(n_objects):
+        database.add(
+            UncertainObject.with_distribution(
+                f"obj-{index}",
+                make_object_distribution(n_states, 5, rng),
+                chain_id="cars" if index % 2 == 0 else "trucks",
+            )
+        )
+    return database
+
+
+def run(
+    n_objects: int,
+    n_states: int,
+    n_queries: int,
+    t_low: int,
+    t_high: int,
+    required_speedup: float,
+) -> int:
+    database = build_database(n_objects, n_states, seed=23)
+    window = SpatioTemporalWindow.from_ranges(
+        100, min(120, n_states - 1), t_low, t_high
+    )
+    query = PSTExistsQuery(window)
+    print(
+        f"workload: {n_objects} objects over 2 chains, {n_states} "
+        f"states, {n_queries} repeated queries, window "
+        f"[{min(window.region)},{max(window.region)}] x "
+        f"[{window.t_start},{window.t_end}]"
+    )
+
+    # -- unpruned batched baseline (the PR-1 path): forced QB, no filters
+    unpruned_engine = QueryEngine(database)
+    started = time.perf_counter()
+    for _ in range(n_queries):
+        baseline = unpruned_engine.evaluate(
+            query, method="qb", options=UNPRUNED
+        )
+    unpruned_seconds = time.perf_counter() - started
+
+    # -- planned path: cost-based method choice + filter stages
+    planned_engine = QueryEngine(database)
+    started = time.perf_counter()
+    for _ in range(n_queries):
+        planned = planned_engine.evaluate(query)
+    planned_seconds = time.perf_counter() - started
+
+    # -- parity: the filter stages are exact-safe
+    worst = max(
+        abs(planned.values[object_id] - baseline.values[object_id])
+        for object_id in database.object_ids
+    )
+    assert worst <= 1e-12, f"planned/unpruned mismatch: {worst}"
+
+    # -- EXPLAIN: stage cardinalities shrink monotonically
+    plan = planned_engine.explain(query)
+    counts = plan.stage_counts()
+    assert all(
+        later <= earlier
+        for earlier, later in zip(counts, counts[1:])
+    ), f"stage counts must be non-increasing, got {counts}"
+    prefilter = plan.stages[0]
+    prefiltered_fraction = 1.0 - (
+        prefilter.candidates_out / max(1, prefilter.candidates_in)
+    )
+
+    speedup = unpruned_seconds / planned_seconds
+    print(plan.describe())
+    print(f"unpruned batched  : {unpruned_seconds:8.3f} s total")
+    print(f"planned auto      : {planned_seconds:8.3f} s total")
+    print(
+        f"prefiltered       : {prefiltered_fraction:8.1%}  "
+        f"(required: >= 80%)"
+    )
+    print(
+        f"speedup           : {speedup:8.1f}x  (required: "
+        f"{required_speedup:.0f}x)"
+    )
+    print(f"max |delta|       : {worst:.2e}")
+
+    if prefiltered_fraction < 0.8:
+        print(
+            f"FAIL: prefilter eliminated only "
+            f"{prefiltered_fraction:.1%} of the database",
+            file=sys.stderr,
+        )
+        return 1
+    if speedup < required_speedup:
+        print(
+            f"FAIL: speedup {speedup:.1f}x below required "
+            f"{required_speedup:.0f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cost-based planning + staged filtering vs the "
+                    "unpruned batched path"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI configuration (speedup must only be >1x)",
+    )
+    parser.add_argument("--objects", type=int, default=None)
+    parser.add_argument("--states", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        n_objects, n_states, n_queries = 300, 6_000, 3
+        t_low, t_high, required = 10, 15, 1.0
+    else:
+        n_objects, n_states, n_queries = 2_000, 20_000, 5
+        t_low, t_high, required = 20, 25, 3.0
+    return run(
+        args.objects or n_objects,
+        args.states or n_states,
+        args.queries or n_queries,
+        t_low,
+        t_high,
+        required,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ Quickstart::
 from repro.core.batch import (
     backward_vectors,
     batch_exists_multi,
+    batch_mc_exists,
     batch_ob_exists,
     batch_qb_exists,
 )
@@ -94,7 +95,16 @@ from repro.core.object_based import (
     ob_forall_probability,
 )
 from repro.core.observation import Observation, ObservationSet
+from repro.core.pipeline import QueryPipeline
 from repro.core.plan_cache import PlanCache, PlanCacheStats
+from repro.core.planner import (
+    CostModel,
+    GroupPlan,
+    PlanOptions,
+    QueryPlan,
+    QueryPlanner,
+    StageStats,
+)
 from repro.core.query import (
     PSTExistsQuery,
     PSTForAllQuery,
@@ -169,9 +179,18 @@ __all__ = [
     "batch_ob_exists",
     "batch_qb_exists",
     "batch_exists_multi",
+    "batch_mc_exists",
     "backward_vectors",
     "PlanCache",
     "PlanCacheStats",
+    # planner + pipeline
+    "CostModel",
+    "PlanOptions",
+    "QueryPlan",
+    "GroupPlan",
+    "StageStats",
+    "QueryPlanner",
+    "QueryPipeline",
     "ob_exists_probability",
     "ob_forall_probability",
     "ob_exists_probability_multi",

@@ -55,6 +55,7 @@ __all__ = [
     "batch_ob_exists",
     "batch_qb_exists",
     "batch_exists_multi",
+    "batch_mc_exists",
 ]
 
 StartTimes = Union[int, Sequence[int]]
@@ -410,4 +411,65 @@ def batch_exists_multi(
                 )
             stack.set_row(row, fused / total)
         harvest(time)
+    return result
+
+
+def batch_mc_exists(
+    chain: MarkovChain,
+    observation_sets: Sequence[ObservationSet],
+    window: SpatioTemporalWindow,
+    n_samples: int = 100,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+) -> np.ndarray:
+    """Monte-Carlo PST-exists for many objects sharing a chain.
+
+    One :class:`~repro.core.montecarlo.MonteCarloSampler` serves every
+    object (its per-chain CDF tables are built once), reseeded per
+    object from ``seeds``.  Per-object seeding keeps each estimate
+    independent of which other objects a pruning stage removed, so the
+    pipeline's filtered MC path reproduces the unfiltered one draw for
+    draw on every surviving object.
+
+    Args:
+        chain: the Markov model shared by the objects.
+        observation_sets: one observation set per object; objects with
+            several observations use the Section VI multi-observation
+            estimator.
+        window: the query window.
+        n_samples: sampled paths per object (paper default 100).
+        seeds: one RNG seed per object (``None`` entries sample
+            nondeterministically); omitted = all nondeterministic.
+
+    Returns:
+        Estimated ``P_exists`` per object, aligned with
+        ``observation_sets``.
+    """
+    from repro.core.montecarlo import MonteCarloSampler
+
+    n_objects = len(observation_sets)
+    window.validate_for(chain.n_states)
+    if n_objects == 0:
+        return np.zeros(0, dtype=float)
+    if seeds is None:
+        seeds = [None] * n_objects
+    if len(seeds) != n_objects:
+        raise ValidationError(
+            f"{len(seeds)} seeds for {n_objects} objects"
+        )
+    sampler = MonteCarloSampler(chain)
+    result = np.zeros(n_objects, dtype=float)
+    for row, observations in enumerate(observation_sets):
+        sampler.reseed(seeds[row])
+        if len(observations) > 1:
+            estimate = sampler.exists_probability_multi(
+                observations, window, n_samples
+            )
+        else:
+            estimate = sampler.exists_probability(
+                observations.first.distribution,
+                window,
+                n_samples,
+                start_time=observations.first.time,
+            )
+        result[row] = estimate.estimate
     return result

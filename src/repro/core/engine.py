@@ -1,44 +1,56 @@
 """The query engine: one entry point for all queries and methods.
 
 :class:`QueryEngine` evaluates a PST query over every object of a
-:class:`~repro.database.uncertain_db.TrajectoryDatabase` using one of the
-paper's processing strategies:
+:class:`~repro.database.uncertain_db.TrajectoryDatabase`.  By default
+(``method="auto"``) the engine *plans* its own execution: a cost model
+(:mod:`repro.core.planner`) picks query-based, object-based or
+Monte-Carlo processing per chain group, and the plan runs as a staged
+filter--refinement pipeline (:mod:`repro.core.pipeline`) -- R-tree
+geometric prefilter, exact BFS reachability pruning, then the batched
+evaluation kernels, with chain groups dispatched across a worker pool.
+Forcing a method is still supported:
 
-* ``"qb"`` (default) -- query-based: one backward pass per chain, then one
-  dot product per object (Section V-B).  Objects with multiple
-  observations automatically fall back to object-based Section VI
-  processing, since the backward vector cannot absorb per-object evidence.
-* ``"ob"`` -- object-based: one forward pass per object (Section V-A),
-  optionally behind the reachability pruning filter.
+* ``"qb"`` -- query-based: one backward pass per chain, then one dot
+  product per object (Section V-B).  Objects with multiple observations
+  automatically fall back to object-based Section VI processing.
+* ``"ob"`` -- object-based: one stacked forward pass per chain group
+  (Section V-A).
 * ``"mc"`` -- the Monte-Carlo baseline (Section VIII-A).
 
+All filter stages are exact-safe, so any forced method returns the same
+values as ``"auto"`` (to 1e-12; asserted in the test suite).
+
 Results come back as a :class:`QueryResult` mapping object ids to
-probabilities (or to visit-count distributions for PSTkQ).
+probabilities (or to visit-count distributions for PSTkQ), carrying the
+executed :class:`~repro.core.planner.QueryPlan` with per-stage
+candidate counts and timings -- also available directly through
+:meth:`QueryEngine.explain`.
 """
 
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.batch import (
-    batch_exists_multi,
-    batch_ob_exists,
-    batch_qb_exists,
-)
 from repro.core.errors import QueryError, ValidationError
-from repro.core.ktimes import ktimes_distribution
-from repro.core.montecarlo import MonteCarloSampler
+from repro.core.pipeline import QueryPipeline
 from repro.core.plan_cache import PlanCache
+from repro.core.planner import (
+    CostModel,
+    PlanOptions,
+    QueryPlan,
+    QueryPlanner,
+    resolve_options,
+)
 from repro.core.query import (
     PSTExistsQuery,
     PSTForAllQuery,
     PSTKTimesQuery,
     PSTQuery,
-    SpatioTemporalWindow,
 )
 from repro.database.pruning import ReachabilityPruner
 from repro.database.uncertain_db import TrajectoryDatabase
@@ -47,6 +59,8 @@ __all__ = ["QueryEngine", "QueryResult"]
 
 ResultValue = Union[float, np.ndarray]
 
+_METHODS = ("auto", "qb", "ob", "mc")
+
 
 @dataclass
 class QueryResult:
@@ -54,17 +68,23 @@ class QueryResult:
 
     Attributes:
         query: the evaluated query.
-        method: ``"qb"``, ``"ob"`` or ``"mc"``.
+        method: the *requested* method (``"auto"``, ``"qb"``, ``"ob"``
+            or ``"mc"``); the per-group methods actually executed are
+            on :attr:`plan`.
         values: ``{object_id: probability}`` for exists/for-all queries,
             ``{object_id: count distribution}`` for k-times queries with
             ``k=None``.
         elapsed_seconds: wall-clock evaluation time.
+        plan: the executed :class:`~repro.core.planner.QueryPlan` with
+            per-stage candidate counts and timings (None only for
+            trivial evaluations that never reach the pipeline).
     """
 
     query: PSTQuery
     method: str
     values: Dict[str, ResultValue]
     elapsed_seconds: float = 0.0
+    plan: Optional[QueryPlan] = None
 
     def probability(self, object_id: str) -> ResultValue:
         """The answer for one object."""
@@ -100,19 +120,23 @@ class QueryResult:
 class QueryEngine:
     """Evaluates PST queries over a trajectory database.
 
-    Objects sharing a chain are evaluated *batched*: their distribution
-    vectors are stacked and advanced with one product per timestep (see
-    :mod:`repro.core.batch`).  Augmented matrices and backward vectors
-    are reused across queries through the engine's
-    :class:`~repro.core.plan_cache.PlanCache`, so monitoring workloads
-    that re-issue windows over the same chains pay construction once.
+    Objects sharing a chain are evaluated *batched* (see
+    :mod:`repro.core.batch`); augmented matrices, backward vectors and
+    BFS reachability labellings are reused across queries through the
+    engine's :class:`~repro.core.plan_cache.PlanCache` and
+    :class:`~repro.database.pruning.ReachabilityPruner`, so monitoring
+    workloads that re-issue windows over the same chains pay
+    construction once.
 
     Args:
         database: the database to query.
         backend: linear-algebra backend name (default scipy).
         plan_cache: cache for matrices/backward vectors; a private one
             is created when omitted.  Pass a shared instance to
-            amortise construction across several engines.
+            amortise construction across several engines (it is
+            thread-safe).
+        cost_model: planner coefficients; defaults are tuned for the
+            batched scipy kernels.
     """
 
     def __init__(
@@ -120,57 +144,90 @@ class QueryEngine:
         database: TrajectoryDatabase,
         backend: Optional[str] = None,
         plan_cache: Optional[PlanCache] = None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.database = database
         self.backend = backend
         self.plan_cache = (
             plan_cache if plan_cache is not None else PlanCache()
         )
+        self.planner = QueryPlanner(
+            database,
+            plan_cache=self.plan_cache,
+            backend=backend,
+            cost_model=cost_model,
+        )
+        self.pruner = ReachabilityPruner(database)
+        self.pipeline = QueryPipeline(
+            database,
+            plan_cache=self.plan_cache,
+            backend=backend,
+            pruner=self.pruner,
+        )
 
     # ------------------------------------------------------------------
-    # public entry point
+    # public entry points
     # ------------------------------------------------------------------
     def evaluate(
         self,
         query: PSTQuery,
-        method: str = "qb",
-        prune: bool = False,
-        n_samples: int = 100,
+        method: str = "auto",
+        prune: Optional[bool] = None,
+        n_samples: Optional[int] = None,
         seed: Optional[int] = None,
+        options: Optional[PlanOptions] = None,
     ) -> QueryResult:
         """Evaluate ``query`` for every object in the database.
 
         Args:
             query: a :class:`PSTExistsQuery`, :class:`PSTForAllQuery` or
                 :class:`PSTKTimesQuery`.
-            method: ``"qb"``, ``"ob"`` or ``"mc"``.
-            prune: apply the reachability filter first (OB only); pruned
-                objects are reported with probability zero.
+            method: ``"auto"`` (cost-based planning, the default) or a
+                forced ``"qb"``/``"ob"``/``"mc"``.
+            prune: deprecated -- use
+                ``options=PlanOptions(prefilter=..., bfs_prune=...)``.
+                Honoured for *every* method now (it used to be silently
+                ignored outside OB): ``True`` forces the BFS filter on,
+                ``False`` forces both filter stages off.
             n_samples: Monte-Carlo sample count (MC only; paper default
                 100).
-            seed: Monte-Carlo RNG seed.
+            seed: Monte-Carlo base seed; every object samples its own
+                stream derived from it.
+            options: planner overrides (filters, parallelism, cost
+                model); see :class:`~repro.core.planner.PlanOptions`.
 
         Returns:
             A :class:`QueryResult`; for PSTkQ with ``k=None`` the values
-            are full count distributions, otherwise scalars.
+            are full count distributions, otherwise scalars.  The
+            executed plan (stage cardinalities, timings, per-group
+            method choices) is on :attr:`QueryResult.plan`.
         """
-        if method not in ("qb", "ob", "mc"):
+        if method not in _METHODS:
             raise QueryError(
-                f"unknown method {method!r}; expected 'qb', 'ob' or 'mc'"
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
+        if prune is not None:
+            warnings.warn(
+                "QueryEngine.evaluate(prune=...) is deprecated; use "
+                "options=PlanOptions(prefilter=..., bfs_prune=...) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
         query.window.validate_for(self.database.n_states)
+        effective = resolve_options(
+            options, method, n_samples, seed, prune
+        )
         started = _time.perf_counter()
+        plan: Optional[QueryPlan] = None
         if isinstance(query, PSTExistsQuery):
-            values = self._evaluate_window(
-                query.window, method, prune, n_samples, seed,
-                complemented=False,
-            )
+            plan = self.planner.plan(query, effective)
+            values = self.pipeline.execute(plan, query)
         elif isinstance(query, PSTForAllQuery):
-            values = self._evaluate_forall(
-                query, method, n_samples, seed
-            )
+            values, plan = self._evaluate_forall(query, effective)
         elif isinstance(query, PSTKTimesQuery):
-            values = self._evaluate_ktimes(query, method, n_samples, seed)
+            plan = self.planner.plan(query, effective)
+            values = self.pipeline.execute(plan, query)
         else:
             raise QueryError(f"unsupported query type {type(query)!r}")
         elapsed = _time.perf_counter() - started
@@ -179,7 +236,38 @@ class QueryEngine:
             method=method,
             values=values,
             elapsed_seconds=elapsed,
+            plan=plan,
         )
+
+    def explain(
+        self,
+        query: PSTQuery,
+        method: str = "auto",
+        n_samples: Optional[int] = None,
+        seed: Optional[int] = None,
+        options: Optional[PlanOptions] = None,
+    ) -> QueryPlan:
+        """Evaluate ``query`` and return the executed plan.
+
+        EXPLAIN-ANALYZE-style: the plan carries the cost-model
+        estimates *and* the measured per-stage candidate counts and
+        timings.  Use :meth:`QueryPlan.describe` for a readable
+        rendering::
+
+            print(engine.explain(query).describe())
+        """
+        result = self.evaluate(
+            query,
+            method=method,
+            n_samples=n_samples,
+            seed=seed,
+            options=options,
+        )
+        if result.plan is None:
+            raise QueryError(
+                "query reduced to a trivial answer; nothing to explain"
+            )
+        return result.plan
 
     # ------------------------------------------------------------------
     # extension queries (thin, validated pass-throughs)
@@ -235,176 +323,31 @@ class QueryEngine:
         return values
 
     # ------------------------------------------------------------------
-    # exists
-    # ------------------------------------------------------------------
-    def _evaluate_window(
-        self,
-        window: SpatioTemporalWindow,
-        method: str,
-        prune: bool,
-        n_samples: int,
-        seed: Optional[int],
-        complemented: bool,
-    ) -> Dict[str, ResultValue]:
-        values: Dict[str, ResultValue] = {}
-        groups = self.database.objects_by_chain()
-
-        # One pruner (and one reverse BFS per chain) for the whole
-        # evaluation, shared across all chain groups.
-        surviving = None
-        if prune and method != "mc":
-            pruner = ReachabilityPruner(self.database)
-            surviving = {
-                obj.object_id for obj in pruner.candidates(window)
-            }
-
-        for chain_id, objects in groups.items():
-            chain = self.database.chain(chain_id)
-            if method == "mc":
-                sampler = MonteCarloSampler(chain, seed=seed)
-                for obj in objects:
-                    if obj.has_multiple_observations():
-                        estimate = sampler.exists_probability_multi(
-                            obj.observations, window, n_samples
-                        )
-                    else:
-                        estimate = sampler.exists_probability(
-                            obj.initial.distribution,
-                            window,
-                            n_samples,
-                            start_time=obj.initial.time,
-                        )
-                    values[obj.object_id] = estimate.estimate
-                continue
-
-            if surviving is not None:
-                for obj in objects:
-                    if obj.object_id not in surviving:
-                        values[obj.object_id] = 0.0
-                objects = [
-                    obj for obj in objects
-                    if obj.object_id in surviving
-                ]
-
-            single = [
-                obj for obj in objects
-                if not obj.has_multiple_observations()
-            ]
-            multi = [
-                obj for obj in objects if obj.has_multiple_observations()
-            ]
-
-            if single:
-                evaluate = (
-                    batch_qb_exists if method == "qb" else batch_ob_exists
-                )
-                probabilities = evaluate(
-                    chain,
-                    [obj.initial.distribution for obj in single],
-                    window,
-                    start_times=[obj.initial.time for obj in single],
-                    backend=self.backend,
-                    plan_cache=self.plan_cache,
-                )
-                for obj, probability in zip(single, probabilities):
-                    values[obj.object_id] = float(probability)
-
-            if multi:  # Section VI path for both qb and ob
-                probabilities = batch_exists_multi(
-                    chain,
-                    [obj.observations for obj in multi],
-                    window,
-                    backend=self.backend,
-                    plan_cache=self.plan_cache,
-                )
-                for obj, probability in zip(multi, probabilities):
-                    values[obj.object_id] = float(probability)
-        return values
-
-    # ------------------------------------------------------------------
     # for-all (complement identity, Section VII)
     # ------------------------------------------------------------------
     def _evaluate_forall(
-        self,
-        query: PSTForAllQuery,
-        method: str,
-        n_samples: int,
-        seed: Optional[int],
-    ) -> Dict[str, ResultValue]:
-        if method == "mc":
-            values: Dict[str, ResultValue] = {}
-            for chain_id, objects in self.database.objects_by_chain().items():
-                sampler = MonteCarloSampler(
-                    self.database.chain(chain_id), seed=seed
-                )
-                for obj in objects:
-                    estimate = sampler.forall_probability(
-                        obj.initial.distribution,
-                        query.window,
-                        n_samples,
-                        start_time=obj.initial.time,
-                    )
-                    values[obj.object_id] = estimate.estimate
-            return values
+        self, query: PSTForAllQuery, options: PlanOptions
+    ) -> Tuple[Dict[str, ResultValue], Optional[QueryPlan]]:
         complement = (
             frozenset(range(self.database.n_states)) - query.region
         )
         if not complement:
-            return {obj.object_id: 1.0 for obj in self.database}
-        inner = self._evaluate_window(
+            return (
+                {obj.object_id: 1.0 for obj in self.database},
+                None,
+            )
+        plan = self.planner.plan_window(
             query.window.with_region(complement),
-            method,
-            prune=False,
-            n_samples=n_samples,
-            seed=seed,
+            kind="exists",
             complemented=True,
+            options=options,
         )
-        return {
-            object_id: 1.0 - float(value)
-            for object_id, value in inner.items()
-        }
-
-    # ------------------------------------------------------------------
-    # k-times
-    # ------------------------------------------------------------------
-    def _evaluate_ktimes(
-        self,
-        query: PSTKTimesQuery,
-        method: str,
-        n_samples: int,
-        seed: Optional[int],
-    ) -> Dict[str, ResultValue]:
-        values: Dict[str, ResultValue] = {}
-        for chain_id, objects in self.database.objects_by_chain().items():
-            chain = self.database.chain(chain_id)
-            if method == "mc":
-                sampler = MonteCarloSampler(chain, seed=seed)
-            for obj in objects:
-                if obj.has_multiple_observations():
-                    raise QueryError(
-                        "PSTkQ with multiple observations is not part of "
-                        "the paper's framework; query the first "
-                        "observation only"
-                    )
-                if method == "mc":
-                    distribution = sampler.ktimes_distribution(
-                        obj.initial.distribution,
-                        query.window,
-                        n_samples,
-                        start_time=obj.initial.time,
-                    )
-                else:
-                    # OB and QB share the C(t) algorithm per object; the
-                    # QB-specific blocked evaluator is available separately
-                    # for benchmarking (QueryBasedKTimesEvaluator).
-                    distribution = ktimes_distribution(
-                        chain,
-                        obj.initial.distribution,
-                        query.window,
-                        start_time=obj.initial.time,
-                    )
-                if query.k is None:
-                    values[obj.object_id] = distribution
-                else:
-                    values[obj.object_id] = float(distribution[query.k])
-        return values
+        inner_query = PSTExistsQuery(plan.window)
+        inner = self.pipeline.execute(plan, inner_query)
+        return (
+            {
+                object_id: 1.0 - float(value)
+                for object_id, value in inner.items()
+            },
+            plan,
+        )

@@ -99,6 +99,17 @@ class MonteCarloSampler:
         self._cdf_table: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._cdf_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
+    def reseed(self, seed: Optional[int]) -> "MonteCarloSampler":
+        """Replace the RNG, keeping the (expensive) cached CDF tables.
+
+        The batched MC kernel gives every object its own stream seeded
+        from a stable per-object offset, so an estimate does not depend
+        on which *other* objects a filter stage removed; reseeding one
+        shared sampler avoids re-tabulating the chain per object.
+        """
+        self.rng = np.random.default_rng(seed)
+        return self
+
     def _full_cdf(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """``(cdf, targets)`` padded ``(n_states, max_row_nnz)`` tables.
 

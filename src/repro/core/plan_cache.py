@@ -20,10 +20,18 @@ Cached values are treated as immutable by all consumers.
 The cache records hit/miss/construction counters
 (:attr:`PlanCache.stats`) which the test suite asserts on: a repeated
 query must not construct a second time.
+
+The cache is thread-safe: the query pipeline dispatches chain groups
+across a worker pool that shares one instance.  Bookkeeping (LRU order,
+counters) happens under an internal lock while construction itself runs
+outside it, so two threads racing on the *same* cold key may both build
+-- the first store wins and both get the same object back; entries are
+immutable so either build is equally valid.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
@@ -140,17 +148,20 @@ class PlanCache:
         self._entries: "OrderedDict[Tuple[Hashable, ...], Any]" = (
             OrderedDict()
         )
+        self._lock = threading.RLock()
         self.stats = PlanCacheStats()
 
     # ------------------------------------------------------------------
-    # generic LRU plumbing
+    # generic LRU plumbing (callers hold self._lock)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _lookup(self, key: Tuple[Hashable, ...]) -> Any:
         entry = self._entries.get(key)
@@ -160,12 +171,34 @@ class PlanCache:
         return entry
 
     def _store(self, key: Tuple[Hashable, ...], value: Any) -> Any:
+        existing = self._entries.get(key)
+        if existing is not None:  # a racing thread stored first
+            return existing
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return value
+
+    def contains(
+        self,
+        kind: str,
+        chain: MarkovChain,
+        region: Iterable[int],
+        backend: Optional[str] = None,
+        extra: Hashable = None,
+    ) -> bool:
+        """Non-mutating probe used by the query planner's cost model.
+
+        Neither the LRU order nor the hit/miss counters change, so
+        planning a query does not perturb the statistics the executed
+        plan is judged by.
+        """
+        frozen = frozenset(int(s) for s in region)
+        key = self._key(kind, chain, frozen, backend, extra)
+        with self._lock:
+            return key in self._entries
 
     @staticmethod
     def _key(
@@ -189,14 +222,15 @@ class PlanCache:
         """The Section V-A matrices for ``(chain, region)``, cached."""
         frozen = frozenset(int(s) for s in region)
         key = self._key("absorbing", chain, frozen, backend)
-        cached = self._lookup(key)
-        if cached is not None:
-            return cached
-        self.stats.misses += 1
-        self.stats._count("absorbing")
-        return self._store(
-            key, build_absorbing_matrices(chain, frozen, backend)
-        )
+        with self._lock:
+            cached = self._lookup(key)
+            if cached is not None:
+                return cached
+            self.stats.misses += 1
+            self.stats._count("absorbing")
+        value = build_absorbing_matrices(chain, frozen, backend)
+        with self._lock:
+            return self._store(key, value)
 
     def doubled(
         self,
@@ -207,14 +241,15 @@ class PlanCache:
         """The Section VI doubled matrices, cached."""
         frozen = frozenset(int(s) for s in region)
         key = self._key("doubled", chain, frozen, backend)
-        cached = self._lookup(key)
-        if cached is not None:
-            return cached
-        self.stats.misses += 1
-        self.stats._count("doubled")
-        return self._store(
-            key, build_doubled_matrices(chain, frozen, backend)
-        )
+        with self._lock:
+            cached = self._lookup(key)
+            if cached is not None:
+                return cached
+            self.stats.misses += 1
+            self.stats._count("doubled")
+        value = build_doubled_matrices(chain, frozen, backend)
+        with self._lock:
+            return self._store(key, value)
 
     def backward_vectors(
         self,
@@ -236,26 +271,29 @@ class PlanCache:
         wanted = sorted({int(t) for t in start_times})
         result: Dict[int, np.ndarray] = {}
         missing = []
-        for start in wanted:
-            key = self._key(
-                "backward", chain, window.region, backend,
-                (window.times, start),
-            )
-            cached = self._lookup(key)
-            if cached is not None:
-                result[start] = cached
-            else:
-                missing.append(start)
-        if missing:
-            matrices = self.absorbing(chain, window.region, backend)
-            self.stats.misses += len(missing)
-            self.stats._count("backward")
-            computed = _run_backward(matrices, window, missing)
-            for start, vector in computed.items():
-                vector.setflags(write=False)
+        with self._lock:
+            for start in wanted:
                 key = self._key(
                     "backward", chain, window.region, backend,
                     (window.times, start),
                 )
-                result[start] = self._store(key, vector)
+                cached = self._lookup(key)
+                if cached is not None:
+                    result[start] = cached
+                else:
+                    missing.append(start)
+            if missing:
+                self.stats.misses += len(missing)
+                self.stats._count("backward")
+        if missing:
+            matrices = self.absorbing(chain, window.region, backend)
+            computed = _run_backward(matrices, window, missing)
+            with self._lock:
+                for start, vector in computed.items():
+                    vector.setflags(write=False)
+                    key = self._key(
+                        "backward", chain, window.region, backend,
+                        (window.times, start),
+                    )
+                    result[start] = self._store(key, vector)
         return result

@@ -1,0 +1,655 @@
+"""Cost-based query planning.
+
+The paper's evaluation (Section VIII) shows that query-based and
+object-based processing trade off *data-dependently*: QB amortises one
+backward pass over arbitrarily many objects but pays a per-object dot
+product over the full state vector, OB's stacked forward sweep is
+cheaper for small groups, Monte-Carlo only competes when approximation
+is acceptable, and Section V-C pruning pays off exactly when the window
+is selective.  Up to now the *caller* had to make those choices; this
+module makes the engine plan its own execution:
+
+* :class:`CostModel` -- a small set of interpretable coefficients that
+  turn group features (object counts, chain size and sparsity, query
+  horizon, plan-cache hits) into estimated evaluation costs;
+* :class:`QueryPlanner` -- builds a :class:`QueryPlan` per query,
+  choosing a processing method per *chain group* and deciding whether
+  to run the geometric pre-filter, the exact BFS reachability filter,
+  and the parallel group dispatch;
+* :class:`PlanOptions` -- per-query overrides (force a method, force a
+  filter on/off, cap the worker pool), replacing the old boolean
+  ``prune=`` flag;
+* :class:`QueryPlan` / :class:`GroupPlan` / :class:`StageStats` -- the
+  EXPLAIN-style artefact the pipeline fills with per-stage candidate
+  counts and timings, returned on every
+  :class:`~repro.core.engine.QueryResult`.
+
+Every choice the planner makes is between *exact* strategies (unless
+``allow_approximate`` opts into MC), so planned execution is
+bit-compatible with any forced method -- the property the test suite
+asserts to 1e-12.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import QueryError
+from repro.core.query import (
+    PSTExistsQuery,
+    PSTForAllQuery,
+    PSTKTimesQuery,
+    PSTQuery,
+    SpatioTemporalWindow,
+)
+from repro.database.objects import UncertainObject
+
+__all__ = [
+    "CostModel",
+    "PlanOptions",
+    "GroupPlan",
+    "StageStats",
+    "QueryPlan",
+    "QueryPlanner",
+]
+
+_EXACT_METHODS = ("qb", "ob")
+_ALL_METHODS = ("qb", "ob", "mc")
+
+
+@dataclass(frozen=True)
+class PlanOptions:
+    """Per-query planning overrides.
+
+    Every field defaults to "let the planner decide"; forcing a value
+    turns the corresponding decision off.  This replaces the engine's
+    deprecated boolean ``prune=`` flag.
+
+    Attributes:
+        method: force ``"qb"``, ``"ob"`` or ``"mc"`` for every chain
+            group instead of the cost-based choice.
+        prefilter: force the R-tree geometric pre-filter on or off.
+        bfs_prune: force the exact BFS reachability filter on or off.
+        parallel: force parallel chain-group dispatch on or off.
+        max_workers: worker-pool size cap for parallel dispatch.
+        allow_approximate: let the cost model pick Monte-Carlo when it
+            is the cheapest strategy (off by default: planned execution
+            then stays exact and method-independent).
+        n_samples: Monte-Carlo sample count.
+        seed: Monte-Carlo base seed; each object samples from its own
+            stream derived from this, so estimates do not depend on
+            which other objects were pruned.
+        cost_model: override the engine's cost model for this query.
+    """
+
+    method: Optional[str] = None
+    prefilter: Optional[bool] = None
+    bfs_prune: Optional[bool] = None
+    parallel: Optional[bool] = None
+    max_workers: Optional[int] = None
+    allow_approximate: bool = False
+    n_samples: int = 100
+    seed: Optional[int] = None
+    cost_model: Optional["CostModel"] = None
+
+    def __post_init__(self) -> None:
+        if self.method is not None and self.method not in _ALL_METHODS:
+            raise QueryError(
+                f"unknown method {self.method!r}; expected one of "
+                f"{_ALL_METHODS}"
+            )
+        if self.n_samples < 1:
+            raise QueryError(
+                f"n_samples must be positive, got {self.n_samples}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise QueryError(
+                f"max_workers must be positive, got {self.max_workers}"
+            )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable coefficients of the planner's cost estimates.
+
+    Costs are in abstract "operation" units; only *ratios* matter for
+    the argmin.  The defaults reflect the batched kernels of
+    :mod:`repro.core.batch`: a sparse backward step touches every chain
+    non-zero once, the stacked OB sweep touches every non-zero once
+    *per object column*, a QB answer costs one dense dot over the
+    augmented state vector, and Monte-Carlo pays per sampled path step.
+
+    Attributes:
+        sweep_unit: cost per chain non-zero per timestep of one sparse
+            vector pass (QB backward pass).
+        dense_sweep_unit: cost per non-zero per timestep *per object*
+            of the stacked OB forward sweep.
+        dot_unit: cost per state per object of the final QB dots.
+        build_unit: cost per non-zero of constructing augmented
+            matrices (skipped on a plan-cache hit).
+        mc_step_unit: cost per sample per timestep per object of the
+            Monte-Carlo sampler.
+        object_overhead: fixed per-object bookkeeping cost (vector
+            staging, Python dispatch).
+        prefilter_min_objects: smallest database slice worth probing
+            the R-tree for.
+        prefilter_max_region_fraction: geometric pre-filtering is
+            skipped when the query region covers more than this
+            fraction of the state space (an almost-everywhere region
+            prunes nothing and its MBR costs ``O(|region|)``).
+        bfs_min_objects: smallest group worth the reverse-BFS labelling.
+        parallel_min_objects: smallest total workload dispatched to the
+            worker pool.
+        max_workers_cap: upper bound on auto-sized worker pools.
+    """
+
+    sweep_unit: float = 1.0
+    dense_sweep_unit: float = 1.0
+    dot_unit: float = 1.0
+    build_unit: float = 4.0
+    mc_step_unit: float = 8.0
+    object_overhead: float = 200.0
+    prefilter_min_objects: int = 8
+    prefilter_max_region_fraction: float = 0.5
+    bfs_min_objects: int = 4
+    parallel_min_objects: int = 32
+    max_workers_cap: int = 8
+
+    def qb_cost(self, features: "GroupFeatures") -> float:
+        """One shared backward pass (unless cached) + one dot/object."""
+        build = 0.0 if features.absorbing_cached else (
+            self.build_unit * features.nnz
+        )
+        sweep = (
+            (1.0 - features.backward_cached_fraction)
+            * features.horizon * features.nnz * self.sweep_unit
+        )
+        answers = features.n_single * (
+            features.n_states * self.dot_unit + self.object_overhead
+        )
+        return build + sweep + answers
+
+    def ob_cost(self, features: "GroupFeatures") -> float:
+        """One stacked forward sweep dragging every object column."""
+        build = 0.0 if features.absorbing_cached else (
+            self.build_unit * features.nnz
+        )
+        sweep = (
+            features.horizon * features.nnz * self.dense_sweep_unit
+            * max(1, features.n_single)
+        )
+        return build + sweep + features.n_single * self.object_overhead
+
+    def mc_cost(self, features: "GroupFeatures", n_samples: int) -> float:
+        """Path sampling: every object pays per sample per step."""
+        return features.n_single * (
+            n_samples * max(1, features.horizon) * self.mc_step_unit
+            + self.object_overhead
+        )
+
+    def multi_cost(self, features: "GroupFeatures") -> float:
+        """Section VI doubled-space sweep (informational: no choice)."""
+        build = 0.0 if features.doubled_cached else (
+            2.0 * self.build_unit * features.nnz
+        )
+        return build + (
+            features.horizon * 2.0 * features.nnz
+            * self.dense_sweep_unit * max(1, features.n_multi)
+        )
+
+
+@dataclass(frozen=True)
+class GroupFeatures:
+    """The per-chain-group quantities the cost model consumes.
+
+    Attributes:
+        n_single: single-observation objects in the group.
+        n_multi: multi-observation (Section VI) objects in the group.
+        n_states: augmented state-vector length (``|S| + 1``).
+        nnz: chain transition non-zeros (sparsity).
+        horizon: ``t_end`` minus the group's earliest observation time.
+        duration: ``|T_q]`` timestamps in the window.
+        absorbing_cached: Section V-A matrices already in the plan cache.
+        doubled_cached: Section VI matrices already in the plan cache.
+        backward_cached_fraction: fraction of the group's distinct start
+            times whose Section V-B backward vector is already cached.
+    """
+
+    n_single: int
+    n_multi: int
+    n_states: int
+    nnz: int
+    horizon: int
+    duration: int
+    absorbing_cached: bool = False
+    doubled_cached: bool = False
+    backward_cached_fraction: float = 0.0
+
+
+@dataclass
+class GroupPlan:
+    """Planned execution of one chain group.
+
+    Attributes:
+        chain_id: the group's chain.
+        method: chosen processing method for single-observation objects
+            (``"qb"``/``"ob"``/``"mc"``; k-times queries use the exact
+            ``C(t)`` algorithm and record ``"ct"``).
+        objects: the group's objects (filter stages narrow this set at
+            execution time without mutating the plan).
+        features: the cost-model inputs.
+        costs: estimated cost per candidate method.
+        survivors: objects left after the filter stages (execution).
+        elapsed_seconds: group kernel time (execution).
+    """
+
+    chain_id: str
+    method: str
+    objects: List[UncertainObject] = field(repr=False, default_factory=list)
+    features: Optional[GroupFeatures] = None
+    costs: Dict[str, float] = field(default_factory=dict)
+    survivors: Optional[int] = None
+    elapsed_seconds: Optional[float] = None
+
+    @property
+    def object_ids(self) -> List[str]:
+        """Ids of the group's objects."""
+        return [obj.object_id for obj in self.objects]
+
+
+@dataclass
+class StageStats:
+    """One executed pipeline stage, EXPLAIN-style.
+
+    Attributes:
+        name: ``"prefilter"``, ``"bfs"`` or ``"evaluate"``.
+        candidates_in: objects entering the stage.
+        candidates_out: objects surviving the stage.
+        elapsed_seconds: wall-clock stage time.
+        detail: free-form annotation (e.g. R-tree nodes visited).
+    """
+
+    name: str
+    candidates_in: int
+    candidates_out: int
+    elapsed_seconds: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class QueryPlan:
+    """A planned (and, after execution, measured) query evaluation.
+
+    Attributes:
+        kind: ``"exists"`` or ``"ktimes"`` (for-all queries plan the
+            complement exists-evaluation, flagged by ``complemented``).
+        window: the window the pipeline actually evaluates.
+        requested_method: what the caller asked for (``"auto"`` or a
+            forced method).
+        complemented: the window is the for-all complement reduction.
+        use_prefilter: run the R-tree geometric filter stage.
+        use_bfs: run the exact BFS reachability filter stage.
+        parallel: dispatch chain groups across a worker pool.
+        max_workers: pool size when ``parallel``.
+        options: the resolved :class:`PlanOptions`.
+        groups: one :class:`GroupPlan` per chain group.
+        stages: filled by the pipeline with per-stage candidate counts
+            and timings.
+    """
+
+    kind: str
+    window: SpatioTemporalWindow
+    requested_method: str
+    complemented: bool
+    use_prefilter: bool
+    use_bfs: bool
+    parallel: bool
+    max_workers: int
+    options: PlanOptions
+    groups: List[GroupPlan] = field(default_factory=list)
+    stages: List[StageStats] = field(default_factory=list)
+
+    @property
+    def n_objects(self) -> int:
+        """Total candidate objects entering the pipeline."""
+        return sum(len(group.objects) for group in self.groups)
+
+    def stage_counts(self) -> List[int]:
+        """Candidate counts through the pipeline: ``[in, out, out, ...]``.
+
+        Monotonically non-increasing by construction -- filter stages
+        only ever remove candidates (asserted in the test suite).
+        """
+        if not self.stages:
+            return [self.n_objects]
+        return [self.stages[0].candidates_in] + [
+            stage.candidates_out for stage in self.stages
+        ]
+
+    def describe(self) -> str:
+        """A human-readable EXPLAIN rendering of the plan."""
+        region = self.window.region
+        lines = [
+            f"QueryPlan(kind={self.kind}"
+            + (", complemented" if self.complemented else "")
+            + f", method={self.requested_method}, "
+            f"region |S_q|={len(region)}, "
+            f"T_q=[{self.window.t_start},{self.window.t_end}])",
+            f"  stages: prefilter={'on' if self.use_prefilter else 'off'}"
+            f" -> bfs={'on' if self.use_bfs else 'off'}"
+            f" -> evaluate("
+            + (
+                f"parallel x{self.max_workers}"
+                if self.parallel
+                else "serial"
+            )
+            + ")",
+        ]
+        for group in self.groups:
+            costs = ", ".join(
+                f"{name}={cost:.3g}"
+                for name, cost in sorted(group.costs.items())
+            )
+            singles = group.features.n_single if group.features else "?"
+            multis = group.features.n_multi if group.features else "?"
+            line = (
+                f"  group {group.chain_id!r}: {singles} single + "
+                f"{multis} multi -> method={group.method}"
+            )
+            if costs:
+                line += f"  [{costs}]"
+            if group.survivors is not None:
+                line += f"  survivors={group.survivors}"
+            lines.append(line)
+        for stage in self.stages:
+            lines.append(
+                f"  {stage.name:<9}: {stage.candidates_in:>6} -> "
+                f"{stage.candidates_out:<6} "
+                f"({stage.elapsed_seconds * 1e3:8.3f} ms"
+                + (f", {stage.detail}" if stage.detail else "")
+                + ")"
+            )
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Builds cost-based :class:`QueryPlan` objects for a database.
+
+    Args:
+        database: the database queries run against.
+        plan_cache: the engine's plan cache, probed (without mutating
+            its statistics) to credit cached constructions.
+        backend: linear-algebra backend name (cache-key component).
+        cost_model: default coefficients; per-query overrides come via
+            :attr:`PlanOptions.cost_model`.
+    """
+
+    def __init__(
+        self,
+        database,
+        plan_cache=None,
+        backend: Optional[str] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.database = database
+        self.plan_cache = plan_cache
+        self.backend = backend
+        self.cost_model = cost_model or CostModel()
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def plan(
+        self, query: PSTQuery, options: Optional[PlanOptions] = None
+    ) -> QueryPlan:
+        """Plan one query's execution.
+
+        For-all queries are planned through the paper's Section VII
+        complement reduction; the pipeline evaluates the complement
+        exists-query and the engine applies ``1 - p``.
+        """
+        options = options or PlanOptions()
+        if isinstance(query, PSTForAllQuery):
+            complement = (
+                frozenset(range(self.database.n_states)) - query.region
+            )
+            if not complement:
+                raise QueryError(
+                    "for-all region covers the whole space; the "
+                    "probability is trivially 1 and there is nothing "
+                    "to plan"
+                )
+            return self.plan_window(
+                query.window.with_region(complement),
+                kind="exists",
+                complemented=True,
+                options=options,
+            )
+        if isinstance(query, PSTKTimesQuery):
+            return self.plan_window(
+                query.window, kind="ktimes", options=options
+            )
+        if isinstance(query, PSTExistsQuery):
+            return self.plan_window(
+                query.window, kind="exists", options=options
+            )
+        raise QueryError(f"unsupported query type {type(query)!r}")
+
+    def plan_window(
+        self,
+        window: SpatioTemporalWindow,
+        kind: str = "exists",
+        complemented: bool = False,
+        options: Optional[PlanOptions] = None,
+    ) -> QueryPlan:
+        """Plan an evaluation over an explicit window.
+
+        Used directly by the engine's for-all path, which has already
+        reduced the query to its complement window (Section VII).
+        """
+        options = options or PlanOptions()
+        model = options.cost_model or self.cost_model
+        groups: List[GroupPlan] = []
+        total_objects = 0
+        for chain_id, objects in sorted(
+            self.database.objects_by_chain().items()
+        ):
+            total_objects += len(objects)
+            groups.append(
+                self._plan_group(
+                    chain_id, objects, window, kind, options, model
+                )
+            )
+
+        use_prefilter = self._decide_prefilter(
+            window, total_objects, options, model
+        )
+        use_bfs = (
+            options.bfs_prune
+            if options.bfs_prune is not None
+            else total_objects >= model.bfs_min_objects
+        )
+        parallel, max_workers = self._decide_parallel(
+            groups, total_objects, options, model
+        )
+        requested = options.method or "auto"
+        return QueryPlan(
+            kind=kind,
+            window=window,
+            requested_method=requested,
+            complemented=complemented,
+            use_prefilter=use_prefilter,
+            use_bfs=use_bfs,
+            parallel=parallel,
+            max_workers=max_workers,
+            options=options,
+            groups=groups,
+        )
+
+    def _plan_group(
+        self,
+        chain_id: str,
+        objects: Sequence[UncertainObject],
+        window: SpatioTemporalWindow,
+        kind: str,
+        options: PlanOptions,
+        model: CostModel,
+    ) -> GroupPlan:
+        chain = self.database.chain(chain_id)
+        singles = [
+            obj for obj in objects
+            if not obj.has_multiple_observations()
+        ]
+        multis = [
+            obj for obj in objects if obj.has_multiple_observations()
+        ]
+        starts = sorted({obj.initial.time for obj in objects})
+        horizon = max(0, window.t_end - (starts[0] if starts else 0))
+        features = GroupFeatures(
+            n_single=len(singles),
+            n_multi=len(multis),
+            n_states=chain.n_states + 1,
+            nnz=chain.nnz,
+            horizon=horizon,
+            duration=window.duration,
+            absorbing_cached=self._cached("absorbing", chain, window),
+            doubled_cached=self._cached("doubled", chain, window),
+            backward_cached_fraction=self._backward_fraction(
+                chain, window, starts
+            ),
+        )
+        costs: Dict[str, float] = {}
+        if kind == "ktimes":
+            # the exact C(t) algorithm serves both QB and OB; only a
+            # forced "mc" changes the kernel
+            method = options.method or "ct"
+        else:
+            costs = {
+                "qb": model.qb_cost(features),
+                "ob": model.ob_cost(features),
+            }
+            if options.allow_approximate or options.method == "mc":
+                costs["mc"] = model.mc_cost(features, options.n_samples)
+            if features.n_multi:
+                costs["multi"] = model.multi_cost(features)
+            if options.method is not None:
+                method = options.method
+            else:
+                candidates = (
+                    _ALL_METHODS
+                    if options.allow_approximate
+                    else _EXACT_METHODS
+                )
+                method = min(
+                    candidates, key=lambda name: costs.get(name, float("inf"))
+                )
+        return GroupPlan(
+            chain_id=chain_id,
+            method=method,
+            objects=list(objects),
+            features=features,
+            costs=costs,
+        )
+
+    def _cached(self, kind: str, chain, window) -> bool:
+        if self.plan_cache is None:
+            return False
+        return self.plan_cache.contains(
+            kind, chain, window.region, self.backend
+        )
+
+    def _backward_fraction(
+        self, chain, window, starts: Sequence[int]
+    ) -> float:
+        if self.plan_cache is None or not starts:
+            return 0.0
+        cached = sum(
+            1
+            for start in starts
+            if self.plan_cache.contains(
+                "backward",
+                chain,
+                window.region,
+                self.backend,
+                (window.times, start),
+            )
+        )
+        return cached / len(starts)
+
+    def _decide_prefilter(
+        self,
+        window: SpatioTemporalWindow,
+        total_objects: int,
+        options: PlanOptions,
+        model: CostModel,
+    ) -> bool:
+        if options.prefilter is not None:
+            return options.prefilter
+        if self.database.state_positions() is None:
+            return False
+        if total_objects < model.prefilter_min_objects:
+            return False
+        fraction = len(window.region) / max(1, self.database.n_states)
+        return fraction <= model.prefilter_max_region_fraction
+
+    def _decide_parallel(
+        self,
+        groups: Sequence[GroupPlan],
+        total_objects: int,
+        options: PlanOptions,
+        model: CostModel,
+    ):
+        auto = (
+            len(groups) >= 2
+            and total_objects >= model.parallel_min_objects
+        )
+        parallel = (
+            options.parallel if options.parallel is not None else auto
+        )
+        if not parallel or len(groups) < 2:
+            return False, 1
+        cap = options.max_workers or min(
+            model.max_workers_cap, os.cpu_count() or 1
+        )
+        workers = min(cap, len(groups))
+        if workers <= 1 and options.parallel is None:
+            return False, 1  # a one-worker pool is pure overhead
+        return True, max(1, workers)
+
+
+def resolve_options(
+    base: Optional[PlanOptions],
+    method: str,
+    n_samples: Optional[int],
+    seed: Optional[int],
+    prune: Optional[bool],
+) -> PlanOptions:
+    """Merge the engine's keyword arguments into plan options.
+
+    ``method="auto"`` leaves the cost-based choice in place; a concrete
+    method forces it (conflicting forcings raise).  The deprecated
+    ``prune`` flag maps onto the two filter toggles (``True`` enables
+    the BFS filter, ``False`` disables both) -- explicit fields on
+    ``base`` win over the legacy flag.
+    """
+    options = base or PlanOptions()
+    updates = {}
+    if method != "auto":
+        if options.method is not None and options.method != method:
+            raise QueryError(
+                f"method={method!r} conflicts with "
+                f"options.method={options.method!r}"
+            )
+        updates["method"] = method
+    if n_samples is not None:
+        updates["n_samples"] = n_samples
+    if seed is not None:
+        updates["seed"] = seed
+    if prune is not None:
+        if options.bfs_prune is None:
+            updates["bfs_prune"] = prune
+        if options.prefilter is None and not prune:
+            updates["prefilter"] = False
+    return replace(options, **updates) if updates else options

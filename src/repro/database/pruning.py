@@ -59,12 +59,17 @@ class ReachabilityPruner:
     def _min_steps_to_region(
         self, chain_id: str, window: SpatioTemporalWindow, max_depth: int
     ) -> np.ndarray:
-        """Per-state minimum steps into the region (reverse BFS, capped)."""
-        key = (chain_id, window.region, max_depth)
+        """Per-state minimum steps into the region (reverse BFS, capped).
+
+        Cached by chain *content* (fingerprint), so a pruner held across
+        queries -- the engine keeps one per lifetime -- stays correct
+        even when a chain id is re-registered with a new model.
+        """
+        chain = self.database.chain(chain_id)
+        key = (chain.fingerprint(), window.region, max_depth)
         cached = self._levels_cache.get(key)
         if cached is not None:
             return cached
-        chain = self.database.chain(chain_id)
         transpose = chain.transpose_matrix()
         levels = np.full(chain.n_states, np.iinfo(np.int64).max,
                          dtype=np.int64)
@@ -138,11 +143,18 @@ class GeometricPrefilter:
         max_displacement: an upper bound on the geometric distance an
             object can travel in one transition.  For the paper's
             synthetic generator this is ``max_step / 2`` (an object in
-            state ``s_i`` reaches at most ``s_{i +/- max_step/2}``).
+            state ``s_i`` reaches at most ``s_{i +/- max_step/2}``);
+            :meth:`~repro.database.uncertain_db.TrajectoryDatabase.chain_displacement_bound`
+            derives the exact bound from any chain's transition
+            structure.
+        chain_id: restrict the index to objects of one chain.  Chains
+            have different locality (different ``max_displacement``), so
+            the query pipeline keeps one tree per chain group.
     """
 
     database: TrajectoryDatabase
     max_displacement: float
+    chain_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_displacement < 0:
@@ -167,6 +179,11 @@ class GeometricPrefilter:
     def _build_tree(self) -> RTree:
         entries = []
         for obj in self.database:
+            if (
+                self.chain_id is not None
+                and obj.chain_id != self.chain_id
+            ):
+                continue
             rects = [
                 Rect.point(*self._location(state))
                 for state in obj.initial.distribution.support()
@@ -190,13 +207,23 @@ class GeometricPrefilter:
         ``dt = t_end - start_time``; any object whose observation MBR
         misses the expanded rectangle provably cannot intersect the window.
         """
+        return self.probe(window, start_time)[0]
+
+    def probe(
+        self, window: SpatioTemporalWindow, start_time: int = 0
+    ) -> Tuple[List[str], int]:
+        """Like :meth:`candidate_ids`, plus the R-tree nodes visited.
+
+        The visit count goes into the pipeline's EXPLAIN report.
+        """
         dt = window.t_end - start_time
         if dt < 0:
-            return []
+            return [], 0
         probe = self.region_mbr(window.region).expand(
             self.max_displacement * dt
         )
-        return [str(item) for item in self._tree.search(probe)]
+        items, visited = self._tree.search_with_stats(probe)
+        return [str(item) for item in items], visited
 
     def candidates(
         self, window: SpatioTemporalWindow, start_time: int = 0

@@ -238,12 +238,23 @@ class RTree:
 
     def search(self, query: Rect) -> List[object]:
         """All payloads whose rectangle intersects ``query``."""
+        return self.search_with_stats(query)[0]
+
+    def search_with_stats(self, query: Rect) -> Tuple[List[object], int]:
+        """``(payloads, nodes_visited)`` for one window probe.
+
+        The visit count feeds the query pipeline's EXPLAIN output: it
+        shows how much of the tree a selective window actually touched,
+        which is the quantity the STR packing is supposed to minimise.
+        """
         results: List[object] = []
+        visited = 0
         if self._root is None:
-            return results
+            return results, visited
         stack = [self._root]
         while stack:
             node = stack.pop()
+            visited += 1
             if not node.mbr.intersects(query):
                 continue
             if node.is_leaf:
@@ -252,7 +263,7 @@ class RTree:
                         results.append(item)
             else:
                 stack.extend(node.children)
-        return results
+        return results, visited
 
     def count(self, query: Rect) -> int:
         """Number of intersecting entries (no payload materialisation)."""

@@ -14,13 +14,18 @@ well-formed database.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.distribution import StateDistribution
-from repro.core.errors import ValidationError
+from repro.core.errors import StateSpaceError, ValidationError
 from repro.core.markov import MarkovChain
 from repro.core.state_space import StateSpace
 from repro.database.objects import DEFAULT_CHAIN, UncertainObject
+
+if TYPE_CHECKING:  # avoid a circular import with database.pruning
+    from repro.database.pruning import GeometricPrefilter
 
 __all__ = ["TrajectoryDatabase"]
 
@@ -51,6 +56,11 @@ class TrajectoryDatabase:
         self.state_space = state_space
         self._chains: Dict[str, MarkovChain] = {}
         self._objects: Dict[str, UncertainObject] = {}
+        # lazy geometry metadata for the filter-refinement pipeline
+        self._positions: Optional[np.ndarray] = None
+        self._positions_known = False
+        self._displacement_bounds: Dict[str, Optional[float]] = {}
+        self._prefilters: Dict[str, Optional["GeometricPrefilter"]] = {}
 
     @classmethod
     def with_chain(
@@ -75,6 +85,9 @@ class TrajectoryDatabase:
                 f"{self.n_states}"
             )
         self._chains[str(chain_id)] = chain
+        # the displacement bound depends on the chain's transitions
+        self._displacement_bounds.pop(str(chain_id), None)
+        self._prefilters.pop(str(chain_id), None)
 
     def chain(self, chain_id: str = DEFAULT_CHAIN) -> MarkovChain:
         """The chain registered under ``chain_id``."""
@@ -111,6 +124,7 @@ class TrajectoryDatabase:
                 f"database over {self.n_states}"
             )
         self._objects[obj.object_id] = obj
+        self._prefilters.pop(obj.chain_id, None)
 
     def add_all(self, objects: Sequence[UncertainObject]) -> None:
         """Insert several objects."""
@@ -130,6 +144,7 @@ class TrajectoryDatabase:
         """Delete and return an object."""
         obj = self.get(object_id)
         del self._objects[object_id]
+        self._prefilters.pop(obj.chain_id, None)
         return obj
 
     def __contains__(self, object_id: str) -> bool:
@@ -162,6 +177,81 @@ class TrajectoryDatabase:
             for obj in self._objects.values()
             if chain_id is None or obj.chain_id == chain_id
         ]
+
+    # ------------------------------------------------------------------
+    # lazy geometry metadata (filter-refinement pipeline)
+    # ------------------------------------------------------------------
+    def state_positions(self) -> Optional[np.ndarray]:
+        """``(n_states, d)`` coordinates of every state, built lazily.
+
+        ``None`` when the database has no state space or the space
+        cannot place its states (e.g. a road graph loaded without node
+        positions) -- the geometric pre-filter is then unavailable and
+        the pipeline falls back to BFS pruning alone.
+        """
+        if not self._positions_known:
+            self._positions_known = True
+            if self.state_space is not None:
+                try:
+                    rows = [
+                        self.state_space.location_of(state)
+                        for state in range(self.n_states)
+                    ]
+                except StateSpaceError:
+                    self._positions = None
+                else:
+                    self._positions = np.asarray(rows, dtype=float)
+        return self._positions
+
+    def chain_displacement_bound(
+        self, chain_id: str = DEFAULT_CHAIN
+    ) -> Optional[float]:
+        """Exact per-transition displacement bound of one chain.
+
+        The maximum Euclidean distance between the positions of any
+        connected state pair ``(i, j)`` with ``P(i -> j) > 0``: after
+        ``dt`` transitions an object provably stays within
+        ``bound * dt`` of its observation.  Cached per chain;
+        invalidated when the chain is re-registered.  ``None`` without
+        state positions.
+        """
+        chain_id = str(chain_id)
+        if chain_id not in self._displacement_bounds:
+            positions = self.state_positions()
+            if positions is None:
+                self._displacement_bounds[chain_id] = None
+            else:
+                coo = self.chain(chain_id).matrix.tocoo()
+                if coo.nnz == 0:
+                    self._displacement_bounds[chain_id] = 0.0
+                else:
+                    deltas = positions[coo.row] - positions[coo.col]
+                    self._displacement_bounds[chain_id] = float(
+                        np.sqrt((deltas ** 2).sum(axis=1)).max()
+                    )
+        return self._displacement_bounds[chain_id]
+
+    def geometric_prefilter(
+        self, chain_id: str = DEFAULT_CHAIN
+    ) -> Optional["GeometricPrefilter"]:
+        """The lazy per-chain R-tree pre-filter (None without geometry).
+
+        Built on first use and kept until the object set of the chain
+        or the chain itself changes, so a monitoring workload pays STR
+        bulk loading once across all its queries.
+        """
+        from repro.database.pruning import GeometricPrefilter
+
+        chain_id = str(chain_id)
+        if chain_id not in self._prefilters:
+            bound = self.chain_displacement_bound(chain_id)
+            if bound is None:
+                self._prefilters[chain_id] = None
+            else:
+                self._prefilters[chain_id] = GeometricPrefilter(
+                    self, bound, chain_id=chain_id
+                )
+        return self._prefilters[chain_id]
 
     def __repr__(self) -> str:
         return (

@@ -323,9 +323,10 @@ class TestEngineParity:
             frozenset({0, 1}), frozenset({1, 2})
         )
         engine = QueryEngine(database)
-        pruned = engine.evaluate(
-            PSTExistsQuery(window), method="ob", prune=True
-        )
+        with pytest.warns(DeprecationWarning, match="prune"):
+            pruned = engine.evaluate(
+                PSTExistsQuery(window), method="ob", prune=True
+            )
         plain = engine.evaluate(PSTExistsQuery(window), method="ob")
         surviving = {
             obj.object_id
@@ -340,6 +341,9 @@ class TestEngineParity:
                 assert pruned.values[obj.object_id] == 0.0
 
     def test_mc_engine_matches_manual_sampler_loop(self):
+        # every object samples its own stream seeded by (base seed +
+        # database position), so estimates are reproducible regardless
+        # of which other objects a filter stage removed
         database = self._database(17, n_objects=6)
         window = SpatioTemporalWindow(
             frozenset({0, 1, 4}), frozenset({2, 3})
@@ -347,11 +351,14 @@ class TestEngineParity:
         result = QueryEngine(database).evaluate(
             PSTExistsQuery(window), method="mc", n_samples=64, seed=5
         )
+        index = {
+            object_id: position
+            for position, object_id in enumerate(database.object_ids)
+        }
         for chain_id, objects in database.objects_by_chain().items():
-            sampler = MonteCarloSampler(
-                database.chain(chain_id), seed=5
-            )
+            sampler = MonteCarloSampler(database.chain(chain_id))
             for obj in objects:
+                sampler.reseed(5 + index[obj.object_id])
                 if obj.has_multiple_observations():
                     expected = sampler.exists_probability_multi(
                         obj.observations, window, 64

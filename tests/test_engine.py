@@ -155,9 +155,10 @@ class TestPruneOption:
         database = build_database(seed=9)
         engine = QueryEngine(database)
         plain = engine.evaluate(PSTExistsQuery(WINDOW), method="ob")
-        pruned = engine.evaluate(
-            PSTExistsQuery(WINDOW), method="ob", prune=True
-        )
+        with pytest.warns(DeprecationWarning, match="prune"):
+            pruned = engine.evaluate(
+                PSTExistsQuery(WINDOW), method="ob", prune=True
+            )
         for object_id in database.object_ids:
             assert pruned.values[object_id] == pytest.approx(
                 plain.values[object_id], abs=1e-12
