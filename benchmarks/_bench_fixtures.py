@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-import pytest
-
 from repro.core.query import SpatioTemporalWindow
 from repro.database.uncertain_db import TrajectoryDatabase
 from repro.workloads.road_network import (
@@ -27,7 +25,14 @@ from repro.workloads.synthetic import (
     make_synthetic_database,
 )
 
+from _bench_result import smoke_mode
+
 _CACHE: Dict[Tuple, TrajectoryDatabase] = {}
+
+# CI ("smoke") caps: large enough to execute every code path, small
+# enough that the whole figure suite stays at seconds scale
+_SMOKE_MAX_OBJECTS = 40
+_SMOKE_MAX_STATES = 1_500
 
 
 def synthetic_database(
@@ -37,7 +42,15 @@ def synthetic_database(
     max_step: int = 40,
     seed: int = 1234,
 ) -> TrajectoryDatabase:
-    """A cached synthetic database for the given Table I parameters."""
+    """A cached synthetic database for the given Table I parameters.
+
+    In smoke mode (``REPRO_BENCH_SMOKE=1``, set by the ``--smoke``
+    entry points) object and state counts are capped so the pytest
+    figure suites double as fast CI trajectory checks.
+    """
+    if smoke_mode():
+        n_objects = min(n_objects, _SMOKE_MAX_OBJECTS)
+        n_states = min(n_states, _SMOKE_MAX_STATES)
     key = ("synthetic", n_objects, n_states, state_spread, max_step, seed)
     if key not in _CACHE:
         _CACHE[key] = make_synthetic_database(
@@ -54,12 +67,15 @@ def synthetic_database(
 
 def road_database(which: str, n_objects: int = 200) -> TrajectoryDatabase:
     """A cached Munich-like or NA-like road database (scaled down)."""
-    key = ("road", which, n_objects)
+    scale = 0.01 if smoke_mode() else 0.03
+    if smoke_mode():
+        n_objects = min(n_objects, _SMOKE_MAX_OBJECTS)
+    key = ("road", which, n_objects, scale)
     if key not in _CACHE:
         if which == "munich":
-            config = munich_like_config(scale=0.03, seed=4)
+            config = munich_like_config(scale=scale, seed=4)
         elif which == "north_america":
-            config = north_america_like_config(scale=0.03, seed=5)
+            config = north_america_like_config(scale=scale, seed=5)
         else:
             raise ValueError(f"unknown road network {which!r}")
         _CACHE[key] = make_road_database(config, n_objects=n_objects)

@@ -55,7 +55,7 @@ def test_ablation_pruning(benchmark, prune):
         rounds=1,
         iterations=1,
     )
-    assert len(result) == 150
+    assert len(result) == len(database)
 
 
 @pytest.mark.parametrize(
@@ -180,7 +180,9 @@ def test_ablation_early_termination(benchmark, threshold):
     chain = database.chain()
     window = paper_window(database.n_states)
     initials = [
-        StateDistribution.uniform(3_000, range(95 + offset, 100 + offset))
+        StateDistribution.uniform(
+            database.n_states, range(95 + offset, 100 + offset)
+        )
         for offset in range(0, 40, 2)
     ]
 
@@ -194,3 +196,11 @@ def test_ablation_early_termination(benchmark, threshold):
 
     results = benchmark.pedantic(run, rounds=2, iterations=1)
     assert all(0.0 <= p <= 1.0 for p in results)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

@@ -41,6 +41,7 @@ from repro.database.uncertain_db import TrajectoryDatabase
 from repro.linalg.ops import get_backend
 
 from _bench_fixtures import paper_window, synthetic_database
+from _bench_result import bench_name, write_result
 
 
 def seed_build_absorbing_matrices(
@@ -98,6 +99,7 @@ def run(
     n_states: int,
     n_queries: int,
     required_speedup: float,
+    smoke: bool = False,
 ) -> int:
     database = synthetic_database(
         n_objects=n_objects, n_states=n_states, seed=97
@@ -155,6 +157,25 @@ def run(
     )
     print(f"max |delta|       : {worst:.2e}")
 
+    write_result(bench_name(__file__), {
+        "kind": "standalone",
+        "smoke": smoke,
+        "config": {
+            "n_objects": n_objects,
+            "n_states": n_states,
+            "n_queries": n_queries,
+        },
+        "per_object_seconds": per_object_seconds,
+        "batched_seconds": batched_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds_per_query": warm_seconds,
+        "speedup": speedup,
+        "required_speedup": required_speedup,
+        "max_abs_delta": worst,
+        "plan_cache_hits": stats.hits,
+        "plan_cache_constructions": stats.total_constructions,
+    })
+
     assert stats.total_constructions <= 2, (
         "repeated identical queries must not reconstruct"
     )
@@ -192,6 +213,7 @@ def main(argv: List[str] = None) -> int:
         args.states or n_states,
         args.queries or n_queries,
         required,
+        smoke=args.smoke,
     )
 
 

@@ -25,9 +25,9 @@ from repro.database.objects import UncertainObject
 from repro.core.state_space import LineStateSpace
 from repro.workloads.synthetic import make_line_chain
 
-from _bench_fixtures import synthetic_database
+from _bench_result import smoke_mode
 
-N_STATES = 2_000
+N_STATES = 800 if smoke_mode() else 2_000
 
 
 @pytest.fixture(scope="module")
@@ -126,3 +126,11 @@ def test_nearest_neighbor_vs_database_size(benchmark, n_objects):
         iterations=1,
     )
     assert sum(result.values()) == pytest.approx(1.0)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

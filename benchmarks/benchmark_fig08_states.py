@@ -35,7 +35,7 @@ def test_fig8a_mc(benchmark, n_states):
     result = benchmark.pedantic(
         lambda: _run(database, "mc"), rounds=1, iterations=1
     )
-    assert len(result) == 100
+    assert len(result) == len(database)
 
 
 @pytest.mark.parametrize("n_states", FIG8A_STATES)
@@ -44,7 +44,7 @@ def test_fig8a_ob(benchmark, n_states):
     result = benchmark.pedantic(
         lambda: _run(database, "ob"), rounds=2, iterations=1
     )
-    assert len(result) == 100
+    assert len(result) == len(database)
 
 
 @pytest.mark.parametrize("n_states", FIG8A_STATES)
@@ -53,7 +53,7 @@ def test_fig8a_qb(benchmark, n_states):
     result = benchmark.pedantic(
         lambda: _run(database, "qb"), rounds=3, iterations=1
     )
-    assert len(result) == 100
+    assert len(result) == len(database)
 
 
 @pytest.mark.parametrize("n_states", FIG8B_STATES)
@@ -62,7 +62,7 @@ def test_fig8b_ob(benchmark, n_states):
     result = benchmark.pedantic(
         lambda: _run(database, "ob"), rounds=1, iterations=1
     )
-    assert len(result) == 400
+    assert len(result) == len(database)
 
 
 @pytest.mark.parametrize("n_states", FIG8B_STATES)
@@ -71,4 +71,12 @@ def test_fig8b_qb(benchmark, n_states):
     result = benchmark.pedantic(
         lambda: _run(database, "qb"), rounds=3, iterations=1
     )
-    assert len(result) == 400
+    assert len(result) == len(database)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

@@ -80,3 +80,11 @@ def test_fig9c_north_america_qb(benchmark, start):
     benchmark.pedantic(
         lambda: _run(database, start, "qb"), rounds=3, iterations=1
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

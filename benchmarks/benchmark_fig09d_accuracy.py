@@ -63,3 +63,11 @@ def test_fig9d_accuracy(benchmark, length):
     if length >= 6:
         # a visible bias, as in the paper's plot
         assert naive_mean > exact_mean
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

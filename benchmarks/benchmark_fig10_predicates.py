@@ -56,7 +56,7 @@ def test_fig10a_ob_predicates(benchmark, predicate, length):
         rounds=1,
         iterations=1,
     )
-    assert len(result) == N_OBJECTS
+    assert len(result) == len(database)
 
 
 @pytest.mark.parametrize("length", WINDOW_LENGTHS)
@@ -72,4 +72,12 @@ def test_fig10b_qb_predicates(benchmark, predicate, length):
         rounds=2,
         iterations=1,
     )
-    assert len(result) == N_OBJECTS
+    assert len(result) == len(database)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

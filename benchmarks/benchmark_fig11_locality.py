@@ -72,3 +72,11 @@ def test_fig11b_state_spread_qb(benchmark, state_spread):
     benchmark.pedantic(
         lambda: _run(database, "qb"), rounds=3, iterations=1
     )
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _bench_result import pytest_smoke_main
+
+    sys.exit(pytest_smoke_main(__file__))

@@ -48,6 +48,8 @@ from repro.workloads.synthetic import (
     make_object_distribution,
 )
 
+from _bench_result import bench_name, write_result
+
 UNPRUNED = PlanOptions(prefilter=False, bfs_prune=False)
 
 
@@ -82,6 +84,7 @@ def run(
     t_low: int,
     t_high: int,
     required_speedup: float,
+    smoke: bool = False,
 ) -> int:
     database = build_database(n_objects, n_states, seed=23)
     window = SpatioTemporalWindow.from_ranges(
@@ -144,6 +147,22 @@ def run(
     )
     print(f"max |delta|       : {worst:.2e}")
 
+    write_result(bench_name(__file__), {
+        "kind": "standalone",
+        "smoke": smoke,
+        "config": {
+            "n_objects": n_objects,
+            "n_states": n_states,
+            "n_queries": n_queries,
+        },
+        "unpruned_seconds": unpruned_seconds,
+        "planned_seconds": planned_seconds,
+        "speedup": speedup,
+        "required_speedup": required_speedup,
+        "prefiltered_fraction": prefiltered_fraction,
+        "max_abs_delta": worst,
+    })
+
     if prefiltered_fraction < 0.8:
         print(
             f"FAIL: prefilter eliminated only "
@@ -189,6 +208,7 @@ def main(argv: List[str] = None) -> int:
         t_low,
         t_high,
         required,
+        smoke=args.smoke,
     )
 
 

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Incremental sliding-window monitoring vs re-planning every tick.
+
+The workload is the ISSUE-3 acceptance scenario: a standing window
+query sliding one stride per tick over a Table I database while
+objects arrive, are re-sighted, and depart
+(:mod:`repro.workloads.monitoring`).  Two strategies answer every
+tick over the *same* evolving database:
+
+* ``replan``    -- a batch :class:`~repro.core.engine.QueryEngine`
+  evaluates each tick's window from scratch (cost-based planning,
+  filter stages, and the PR-1/PR-2 caches all enabled -- this is the
+  strongest non-incremental baseline, not a strawman);
+* ``streaming`` -- one :meth:`~repro.core.engine.QueryEngine.watch`
+  standing query whose tick extends the previous backward vectors by
+  ``stride`` sparse products (:mod:`repro.core.streaming`) and patches
+  its candidate state from the database's mutation journal.
+
+The script asserts that
+
+* both strategies agree to 1e-12 on every object at every tick,
+* the streaming path is at least 5x faster per tick over the whole
+  run (1.5x in ``--smoke`` mode, which runs a seconds-scale
+  configuration for CI),
+
+and writes the measured trajectory to ``BENCH_streaming.json``.
+
+Run:  PYTHONPATH=src python benchmarks/benchmark_streaming.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import PSTExistsQuery, QueryEngine
+from repro.workloads.monitoring import (
+    MonitoringConfig,
+    make_monitoring_workload,
+)
+
+from _bench_result import bench_name, write_result
+
+
+def run(
+    config: MonitoringConfig,
+    required_speedup: float,
+    smoke: bool = False,
+) -> int:
+    workload = make_monitoring_workload(config)
+    database = workload.database
+    print(
+        f"workload: {config.n_objects} objects over "
+        f"{config.n_chains} chains, {config.n_states} states, "
+        f"{config.n_ticks} ticks x stride {config.stride}, "
+        f"window [{config.window_low},{config.window_high}] x "
+        f"[{config.window_lead},"
+        f"{config.window_lead + config.window_duration - 1}], "
+        f"+{config.arrivals_per_tick}/~{config.resightings_per_tick}"
+        f"/-{config.departures_per_tick} objects per tick"
+    )
+
+    streaming_engine = QueryEngine(database)
+    standing = streaming_engine.watch(
+        workload.query, stride=config.stride
+    )
+    replan_engine = QueryEngine(database)
+
+    streaming_seconds = 0.0
+    replan_seconds = 0.0
+    worst = 0.0
+    tick_log = []
+    for tick in range(config.n_ticks):
+        workload.apply(tick)
+
+        started = time.perf_counter()
+        incremental = standing.tick()
+        streaming_tick = time.perf_counter() - started
+        streaming_seconds += streaming_tick
+
+        window = workload.window_at(tick)
+        started = time.perf_counter()
+        replanned = replan_engine.evaluate(PSTExistsQuery(window))
+        replan_tick = time.perf_counter() - started
+        replan_seconds += replan_tick
+
+        delta = max(
+            abs(incremental.values[object_id]
+                - replanned.values[object_id])
+            for object_id in database.object_ids
+        )
+        worst = max(worst, delta)
+        assert delta <= 1e-12, (
+            f"tick {tick}: streaming/replan mismatch {delta}"
+        )
+        tick_log.append({
+            "tick": tick,
+            "streaming_seconds": streaming_tick,
+            "replan_seconds": replan_tick,
+            "objects": len(database),
+        })
+
+    speedup = replan_seconds / streaming_seconds
+    per_tick_stream = streaming_seconds / config.n_ticks
+    per_tick_replan = replan_seconds / config.n_ticks
+    print(standing.explain().describe())
+    print(f"replan from scratch : {replan_seconds:8.3f} s total "
+          f"({per_tick_replan * 1e3:8.2f} ms/tick)")
+    print(f"streaming           : {streaming_seconds:8.3f} s total "
+          f"({per_tick_stream * 1e3:8.2f} ms/tick)")
+    print(f"per-tick speedup    : {speedup:8.1f}x  "
+          f"(required: {required_speedup:.1f}x)")
+    print(f"max |delta|         : {worst:.2e}")
+
+    write_result(bench_name(__file__), {
+        "kind": "standalone",
+        "smoke": smoke,
+        "config": {
+            "n_objects": config.n_objects,
+            "n_states": config.n_states,
+            "n_chains": config.n_chains,
+            "n_ticks": config.n_ticks,
+            "stride": config.stride,
+        },
+        "replan_seconds": replan_seconds,
+        "streaming_seconds": streaming_seconds,
+        "speedup": speedup,
+        "required_speedup": required_speedup,
+        "max_abs_delta": worst,
+        "ticks": tick_log,
+    })
+
+    if speedup < required_speedup:
+        print(
+            f"FAIL: speedup {speedup:.1f}x below required "
+            f"{required_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="incremental sliding-window monitoring vs "
+                    "re-planning every tick"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI configuration (speedup must only "
+             "be >= 1.5x)",
+    )
+    parser.add_argument("--objects", type=int, default=None)
+    parser.add_argument("--states", type=int, default=None)
+    parser.add_argument("--ticks", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        config = MonitoringConfig(
+            n_objects=args.objects or 300,
+            n_states=args.states or 4_000,
+            n_chains=2,
+            n_ticks=args.ticks or 12,
+            stride=1,
+            window_lead=15,
+            window_duration=5,
+            arrivals_per_tick=2,
+            resightings_per_tick=1,
+            departures_per_tick=1,
+            seed=3,
+        )
+        required = 1.5
+    else:
+        config = MonitoringConfig(
+            n_objects=args.objects or 2_000,
+            n_states=args.states or 20_000,
+            n_chains=2,
+            n_ticks=args.ticks or 40,
+            stride=1,
+            window_lead=25,
+            window_duration=6,
+            arrivals_per_tick=2,
+            resightings_per_tick=1,
+            departures_per_tick=1,
+            seed=3,
+        )
+        required = 5.0
+    return run(config, required, smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

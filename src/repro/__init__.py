@@ -124,6 +124,7 @@ from repro.core.state_space import (
     LineStateSpace,
     StateSpace,
 )
+from repro.core.streaming import StandingQuery, StreamingQueryEngine
 from repro.core.trajectory import (
     PossibleWorldEnumerator,
     Trajectory,
@@ -191,6 +192,9 @@ __all__ = [
     "StageStats",
     "QueryPlanner",
     "QueryPipeline",
+    # streaming / monitoring
+    "StreamingQueryEngine",
+    "StandingQuery",
     "ob_exists_probability",
     "ob_forall_probability",
     "ob_exists_probability_multi",

@@ -15,13 +15,11 @@ PSTkQ being the most expensive predicate, and near-linear scaling in
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.bench.harness import ExperimentSeries, measure_seconds
-from repro.core.distribution import StateDistribution
 from repro.core.engine import QueryEngine
 from repro.core.errors import ValidationError
 from repro.core.planner import PlanOptions
@@ -39,7 +37,6 @@ from repro.core.query_based import (
     QueryBasedEvaluator,
     QueryBasedKTimesEvaluator,
 )
-from repro.database.pruning import ReachabilityPruner
 from repro.database.uncertain_db import TrajectoryDatabase
 from repro.workloads.road_network import (
     make_road_database,

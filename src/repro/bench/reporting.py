@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from typing import List, Sequence
+from typing import List
 
 from repro.bench.harness import ExperimentSeries
 

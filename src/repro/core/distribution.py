@@ -13,7 +13,6 @@ and provides the operations the query processors need:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
 
 import numpy as np

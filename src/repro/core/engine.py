@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time as _time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -78,6 +78,10 @@ class QueryResult:
         plan: the executed :class:`~repro.core.planner.QueryPlan` with
             per-stage candidate counts and timings (None only for
             trivial evaluations that never reach the pipeline).
+            Results produced by a standing query's
+            :meth:`~repro.core.streaming.StandingQuery.tick` instead
+            carry a ``streaming`` stage recording the tick number, the
+            per-tick candidate delta, and the sparse products spent.
     """
 
     query: PSTQuery
@@ -164,6 +168,8 @@ class QueryEngine:
             backend=backend,
             pruner=self.pruner,
         )
+        self._streaming = None
+        self._prune_deprecation_emitted = False
 
     # ------------------------------------------------------------------
     # public entry points
@@ -206,7 +212,10 @@ class QueryEngine:
             raise QueryError(
                 f"unknown method {method!r}; expected one of {_METHODS}"
             )
-        if prune is not None:
+        if prune is not None and not self._prune_deprecation_emitted:
+            # once per engine, not per query: a monitoring loop passing
+            # prune= every tick should not flood the warning log
+            self._prune_deprecation_emitted = True
             warnings.warn(
                 "QueryEngine.evaluate(prune=...) is deprecated; use "
                 "options=PlanOptions(prefilter=..., bfs_prune=...) "
@@ -255,6 +264,14 @@ class QueryEngine:
         rendering::
 
             print(engine.explain(query).describe())
+
+        Monitoring workloads should register a standing query instead
+        -- its plan swaps the filter stages for a ``streaming`` stage
+        with per-tick candidate deltas::
+
+            standing = engine.watch(query, stride=1)
+            standing.tick()
+            print(standing.explain().describe())
         """
         result = self.evaluate(
             query,
@@ -268,6 +285,28 @@ class QueryEngine:
                 "query reduced to a trivial answer; nothing to explain"
             )
         return result.plan
+
+    def watch(self, query: PSTQuery, stride: int = 1):
+        """Register ``query`` as a standing sliding-window query.
+
+        Returns a :class:`~repro.core.streaming.StandingQuery` whose
+        :meth:`~repro.core.streaming.StandingQuery.tick` evaluates the
+        current window *incrementally* -- backward vectors are extended
+        by one sparse product per slid timestamp instead of recomputed
+        -- then slides it ``stride`` timestamps forward.  The streaming
+        engine shares this engine's plan cache and reachability pruner,
+        so artefacts built by either serve both.
+        """
+        from repro.core.streaming import StreamingQueryEngine
+
+        if self._streaming is None:
+            self._streaming = StreamingQueryEngine(
+                self.database,
+                backend=self.backend,
+                plan_cache=self.plan_cache,
+                pruner=self.pruner,
+            )
+        return self._streaming.watch(query, stride=stride)
 
     # ------------------------------------------------------------------
     # extension queries (thin, validated pass-throughs)

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.core.errors import ValidationError

@@ -15,7 +15,7 @@ occupancy crosses a threshold.  One forward sweep per chain suffices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

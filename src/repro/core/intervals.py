@@ -36,7 +36,7 @@ test suite).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

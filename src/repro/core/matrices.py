@@ -42,7 +42,6 @@ import numpy as np
 
 from repro.core.errors import QueryError, ValidationError
 from repro.core.markov import MarkovChain
-from repro.core.query import SpatioTemporalWindow
 from repro.linalg.ops import Backend, get_backend
 
 __all__ = [

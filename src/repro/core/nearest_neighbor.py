@@ -23,11 +23,11 @@ exact finite sum.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.errors import QueryError, ValidationError
+from repro.core.errors import QueryError
 from repro.core.state_space import StateSpace
 from repro.database.uncertain_db import TrajectoryDatabase
 

@@ -10,7 +10,7 @@ evidence: elementwise product + normalisation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.distribution import StateDistribution
 from repro.core.errors import ObservationError

@@ -264,7 +264,11 @@ class StageStats:
     """One executed pipeline stage, EXPLAIN-style.
 
     Attributes:
-        name: ``"prefilter"``, ``"bfs"`` or ``"evaluate"``.
+        name: ``"prefilter"``, ``"bfs"`` or ``"evaluate"`` for batch
+            plans; standing-query ticks
+            (:mod:`repro.core.streaming`) report a ``"streaming"``
+            stage instead, whose detail carries the tick number, the
+            per-tick candidate delta, and the sparse products spent.
         candidates_in: objects entering the stage.
         candidates_out: objects surviving the stage.
         elapsed_seconds: wall-clock stage time.

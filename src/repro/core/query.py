@@ -19,7 +19,7 @@ Three query semantics are defined over the window:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Optional
 
 from repro.core.errors import QueryError
 

@@ -14,7 +14,7 @@ per-class chains simply run one evaluator per class.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import numpy as np
 

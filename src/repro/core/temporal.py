@@ -21,7 +21,7 @@ will this iceberg reach the shipping lane?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 import numpy as np
 

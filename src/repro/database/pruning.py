@@ -20,15 +20,14 @@ result probability (verified against brute force in the test suite).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.errors import ValidationError
-from repro.core.markov import MarkovChain
 from repro.core.query import SpatioTemporalWindow
-from repro.core.state_space import StateSpace
 from repro.database.objects import UncertainObject
 from repro.database.rtree import Rect, RTree
 from repro.database.uncertain_db import TrajectoryDatabase
@@ -52,44 +51,93 @@ class ReachabilityPruner:
 
     def __init__(self, database: TrajectoryDatabase) -> None:
         self.database = database
-        self._levels_cache: Dict[
-            Tuple[str, frozenset, int], np.ndarray
-        ] = {}
+        # resumable reverse-BFS state per (chain content, region):
+        # [levels, reached depth, current frontier mask].  Extensions
+        # happen under the lock; lock-free readers are safe because a
+        # label <= d is final once the reached depth is >= d, and
+        # deeper labels only ever *replace* the unreachable sentinel
+        # (both of which a depth-d reader rejects equally).
+        self._bfs_state: Dict[Tuple[str, FrozenSet[int]], list] = {}
+        self._lock = threading.Lock()
 
-    def _min_steps_to_region(
-        self, chain_id: str, window: SpatioTemporalWindow, max_depth: int
+    def _levels_to_depth(
+        self, chain_id: str, region: FrozenSet[int], depth_needed: int
     ) -> np.ndarray:
-        """Per-state minimum steps into the region (reverse BFS, capped).
+        """Per-state minimum steps into the region, labelled at least
+        to ``depth_needed`` (reverse BFS, *resumable*).
 
-        Cached by chain *content* (fingerprint), so a pruner held across
-        queries -- the engine keeps one per lifetime -- stays correct
-        even when a chain id is re-registered with a new model.
+        The BFS frontier is cached per ``(chain, region)`` and extended
+        on demand: a one-shot query pays only its own horizon, while a
+        sliding window whose horizon grows each tick extends the same
+        labelling by one level per slid timestamp instead of re-running
+        the search.  Each level costs one C-speed spmv (a state is a
+        predecessor of the frontier iff the chain's sparse product
+        against the frontier indicator is positive).  Keyed by chain
+        *content* (fingerprint), so a pruner held across queries -- the
+        engine keeps one per lifetime -- stays correct even when a
+        chain id is re-registered with a new model.
         """
         chain = self.database.chain(chain_id)
-        key = (chain.fingerprint(), window.region, max_depth)
-        cached = self._levels_cache.get(key)
-        if cached is not None:
-            return cached
-        transpose = chain.transpose_matrix()
-        levels = np.full(chain.n_states, np.iinfo(np.int64).max,
-                         dtype=np.int64)
-        frontier = sorted(window.region)
-        levels[frontier] = 0
-        depth = 0
-        indptr, indices = transpose.indptr, transpose.indices
-        while frontier and depth < max_depth:
-            depth += 1
-            nxt = []
-            for state in frontier:
-                for predecessor in indices[
-                    indptr[state]:indptr[state + 1]
-                ]:
-                    if levels[predecessor] > depth:
-                        levels[predecessor] = depth
-                        nxt.append(int(predecessor))
-            frontier = nxt
-        self._levels_cache[key] = levels
-        return levels
+        key = (chain.fingerprint(), region)
+        unreachable = np.iinfo(np.int64).max
+        state = self._bfs_state.get(key)
+        if state is not None and (
+            state[1] >= depth_needed or not state[2].any()
+        ):
+            return state[0]  # already labelled far enough (lock-free)
+        with self._lock:
+            state = self._bfs_state.get(key)
+            if state is None:
+                levels = np.full(
+                    chain.n_states, unreachable, dtype=np.int64
+                )
+                frontier = np.zeros(chain.n_states, dtype=bool)
+                frontier[sorted(region)] = True
+                levels[frontier] = 0
+                state = self._bfs_state[key] = [levels, 0, frontier]
+            levels, depth, frontier = state
+            matrix = chain.matrix
+            while depth < depth_needed and frontier.any():
+                depth += 1
+                reached = matrix @ frontier.astype(np.float64)
+                frontier = (reached > 0.0) & (levels == unreachable)
+                levels[frontier] = depth
+            state[1], state[2] = depth, frontier
+            return levels
+
+    def min_levels(
+        self, chain_id: str, region: Iterable[int]
+    ) -> np.ndarray:
+        """Per-state minimum steps into ``region``, uncapped.
+
+        The fully-extended labelling serves *every* horizon: a state
+        can enter the region within ``h`` steps iff
+        ``levels[state] <= h``.  Sliding-window monitoring re-issues
+        the same region with a growing horizon every tick, so the
+        uncapped labelling turns the per-tick reachability filter into
+        an O(1) threshold comparison per object
+        (see :mod:`repro.core.streaming`).  Unreachable states are
+        labelled ``np.iinfo(np.int64).max``.
+        """
+        chain = self.database.chain(chain_id)
+        frozen = frozenset(int(s) for s in region)
+        return self._levels_to_depth(chain_id, frozen, chain.n_states)
+
+    def min_steps(
+        self, obj: UncertainObject, region: Iterable[int]
+    ) -> int:
+        """Fewest transitions from ``obj``'s observation support into
+        ``region`` (``np.iinfo(np.int64).max`` when unreachable).
+
+        ``obj`` first intersects a window over ``region`` no earlier
+        than ``obj.initial.time + min_steps``; streaming candidate
+        tracking activates it at exactly that tick.
+        """
+        levels = self.min_levels(obj.chain_id, region)
+        support = list(obj.initial.distribution.support())
+        return int(levels[support].min()) if support else int(
+            np.iinfo(np.int64).max
+        )
 
     def can_satisfy(
         self, obj: UncertainObject, window: SpatioTemporalWindow
@@ -106,8 +154,11 @@ class ReachabilityPruner:
         horizon = window.t_end - start.time
         if horizon < 0:
             return False
-        levels = self._min_steps_to_region(
-            obj.chain_id, window, horizon
+        # the resumable labelling is shared per (chain, region): this
+        # query only pays BFS levels beyond what previous (possibly
+        # shorter-horizon) queries already explored
+        levels = self._levels_to_depth(
+            obj.chain_id, window.region, horizon
         )
         return any(
             levels[state] <= horizon
@@ -168,6 +219,13 @@ class GeometricPrefilter:
                 "geometric pre-filtering needs a state space with positions"
             )
         self._space = space
+        # online mutations land in a linear overflow buffer (inserts)
+        # and a tombstone set (deletions); the STR tree is re-packed
+        # only when the buffer grows past _rebuild_threshold, so a
+        # monitoring stream of appends costs O(buffer) per probe
+        # instead of an O(n log n) bulk load per mutation
+        self._extras: List[Tuple[Rect, str]] = []
+        self._tombstones: Set[str] = set()
         self._tree = self._build_tree()
 
     def _location(self, state: int) -> Tuple[float, float]:
@@ -184,12 +242,53 @@ class GeometricPrefilter:
                 and obj.chain_id != self.chain_id
             ):
                 continue
-            rects = [
-                Rect.point(*self._location(state))
-                for state in obj.initial.distribution.support()
-            ]
-            entries.append((Rect.union_all(rects), obj.object_id))
+            entries.append((self._object_rect(obj), obj.object_id))
         return RTree(entries)
+
+    def _object_rect(self, obj: UncertainObject) -> Rect:
+        rects = [
+            Rect.point(*self._location(state))
+            for state in obj.initial.distribution.support()
+        ]
+        return Rect.union_all(rects)
+
+    @property
+    def _rebuild_threshold(self) -> int:
+        return max(32, len(self._tree) // 4)
+
+    def insert_object(self, obj: UncertainObject) -> None:
+        """Index a new (or re-anchored) object incrementally.
+
+        The entry goes into the overflow buffer; the STR tree is only
+        re-packed once the buffer exceeds a quarter of the tree (the
+        point where linear buffer scans start rivalling tree descent).
+        """
+        if self.chain_id is not None and obj.chain_id != self.chain_id:
+            return
+        self._extras.append((self._object_rect(obj), obj.object_id))
+        if (
+            len(self._extras) + len(self._tombstones)
+            > self._rebuild_threshold
+        ):
+            self.rebuild()
+
+    def remove_object(self, object_id: str) -> None:
+        """Drop an object from the index (tombstone until re-pack)."""
+        self._extras = [
+            entry for entry in self._extras if entry[1] != object_id
+        ]
+        self._tombstones.add(str(object_id))
+        if (
+            len(self._extras) + len(self._tombstones)
+            > self._rebuild_threshold
+        ):
+            self.rebuild()  # removal-heavy streams must not accumulate
+
+    def rebuild(self) -> None:
+        """Re-pack the STR tree from the database and clear patches."""
+        self._extras = []
+        self._tombstones = set()
+        self._tree = self._build_tree()
 
     def region_mbr(self, region: Iterable[int]) -> Rect:
         """MBR of the query region's state locations."""
@@ -223,7 +322,15 @@ class GeometricPrefilter:
             self.max_displacement * dt
         )
         items, visited = self._tree.search_with_stats(probe)
-        return [str(item) for item in items], visited
+        results = [
+            str(item)
+            for item in items
+            if str(item) not in self._tombstones
+        ]
+        for rect, object_id in self._extras:
+            if rect.intersects(probe):
+                results.append(object_id)
+        return results, visited
 
     def candidates(
         self, window: SpatioTemporalWindow, start_time: int = 0

@@ -18,16 +18,40 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from dataclasses import dataclass, replace
+
 from repro.core.distribution import StateDistribution
 from repro.core.errors import StateSpaceError, ValidationError
 from repro.core.markov import MarkovChain
+from repro.core.observation import Observation, ObservationSet
 from repro.core.state_space import StateSpace
 from repro.database.objects import DEFAULT_CHAIN, UncertainObject
 
 if TYPE_CHECKING:  # avoid a circular import with database.pruning
     from repro.database.pruning import GeometricPrefilter
 
-__all__ = ["TrajectoryDatabase"]
+__all__ = ["TrajectoryDatabase", "DatabaseChange"]
+
+# mutation-journal retention: far above any realistic tick-to-tick lag
+# of a standing query, small enough that a perpetual feed stays bounded
+_JOURNAL_LIMIT = 65_536
+
+
+@dataclass(frozen=True)
+class DatabaseChange:
+    """One entry of the database's mutation journal.
+
+    Attributes:
+        version: the database version right after the mutation.
+        op: ``"add"``, ``"remove"``, ``"observe"`` (an observation was
+            appended to an existing object) or ``"chain"`` (a chain was
+            registered or replaced).
+        object_id: the affected object (chain id for ``"chain"`` ops).
+    """
+
+    version: int
+    op: str
+    object_id: str
 
 
 class TrajectoryDatabase:
@@ -61,6 +85,13 @@ class TrajectoryDatabase:
         self._positions_known = False
         self._displacement_bounds: Dict[str, Optional[float]] = {}
         self._prefilters: Dict[str, Optional["GeometricPrefilter"]] = {}
+        # mutation journal: streaming consumers sync against `version`.
+        # Bounded: a long-running feed must not accumulate memory, so
+        # the oldest entries are dropped past _JOURNAL_LIMIT and
+        # consumers that fell further behind are told to resync.
+        self._version = 0
+        self._journal: List[DatabaseChange] = []
+        self._journal_dropped = 0
 
     @classmethod
     def with_chain(
@@ -88,6 +119,7 @@ class TrajectoryDatabase:
         # the displacement bound depends on the chain's transitions
         self._displacement_bounds.pop(str(chain_id), None)
         self._prefilters.pop(str(chain_id), None)
+        self._record("chain", str(chain_id))
 
     def chain(self, chain_id: str = DEFAULT_CHAIN) -> MarkovChain:
         """The chain registered under ``chain_id``."""
@@ -124,7 +156,10 @@ class TrajectoryDatabase:
                 f"database over {self.n_states}"
             )
         self._objects[obj.object_id] = obj
-        self._prefilters.pop(obj.chain_id, None)
+        prefilter = self._prefilters.get(obj.chain_id)
+        if prefilter is not None:  # patch the built index, don't rebuild
+            prefilter.insert_object(obj)
+        self._record("add", obj.object_id)
 
     def add_all(self, objects: Sequence[UncertainObject]) -> None:
         """Insert several objects."""
@@ -144,8 +179,108 @@ class TrajectoryDatabase:
         """Delete and return an object."""
         obj = self.get(object_id)
         del self._objects[object_id]
-        self._prefilters.pop(obj.chain_id, None)
+        prefilter = self._prefilters.get(obj.chain_id)
+        if prefilter is not None:
+            prefilter.remove_object(object_id)
+        self._record("remove", object_id)
         return obj
+
+    def append_observation(
+        self,
+        object_id: str,
+        observation: Observation,
+        chain_id: str = DEFAULT_CHAIN,
+    ) -> UncertainObject:
+        """Record a new (later) observation of an object, online.
+
+        The monitoring entry point: a sighting arriving mid-stream is
+        folded into the database *incrementally* -- the per-chain R-tree
+        prefilter, displacement bounds and reachability labellings are
+        patched or left untouched rather than rebuilt (appending to an
+        existing object keeps its anchoring first observation, so the
+        R-tree entry is already correct; chain-level caches do not
+        depend on objects at all).
+
+        Args:
+            object_id: an existing object (the observation is appended
+                to its observation set, making it a Section VI
+                multi-observation object) or a new id (a fresh
+                single-observation object enters the database).
+            observation: the new sighting; for existing objects its
+                timestamp must differ from all previous ones.
+            chain_id: chain for objects entering the database (ignored
+                for existing objects).
+
+        Returns:
+            The inserted or updated (immutable) object record.
+        """
+        if observation.n_states != self.n_states:
+            raise ValidationError(
+                f"observation over {observation.n_states} states, "
+                f"database over {self.n_states}"
+            )
+        existing = self._objects.get(object_id)
+        if existing is None:
+            obj = UncertainObject(
+                object_id=str(object_id),
+                observations=ObservationSet.single(observation),
+                chain_id=chain_id,
+            )
+            self.add(obj)
+            return obj
+        updated = replace(
+            existing,
+            observations=ObservationSet(
+                existing.observations.observations + (observation,)
+            ),
+        )
+        self._objects[object_id] = updated
+        if updated.initial.time != existing.initial.time:
+            # a backfilled earlier sighting moves the R-tree anchor
+            prefilter = self._prefilters.get(updated.chain_id)
+            if prefilter is not None:
+                prefilter.remove_object(object_id)
+                prefilter.insert_object(updated)
+        self._record("observe", object_id)
+        return updated
+
+    # ------------------------------------------------------------------
+    # mutation journal (streaming consumers)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped by every mutation."""
+        return self._version
+
+    def changes_since(
+        self, version: int
+    ) -> Optional[List[DatabaseChange]]:
+        """Journal entries strictly after ``version``, oldest first.
+
+        Standing queries (:mod:`repro.core.streaming`) poll this per
+        tick to patch their incremental state instead of re-reading
+        the whole database.  Returns ``None`` when the bounded journal
+        no longer reaches back to ``version`` (the consumer fell more
+        than ``_JOURNAL_LIMIT`` mutations behind) -- the caller must
+        then resync from the database itself.
+        """
+        if version >= self._version:
+            return []
+        if version < self._journal_dropped:
+            return None
+        # entries are dense in version: the entry created as version v
+        # sits at journal index v - 1 - dropped
+        return self._journal[int(version) - self._journal_dropped:]
+
+    def _record(self, op: str, object_id: str) -> None:
+        self._version += 1
+        self._journal.append(
+            DatabaseChange(self._version, op, object_id)
+        )
+        if len(self._journal) > _JOURNAL_LIMIT:
+            excess = len(self._journal) - _JOURNAL_LIMIT
+            del self._journal[:excess]
+            self._journal_dropped += excess
 
     def __contains__(self, object_id: str) -> bool:
         return object_id in self._objects

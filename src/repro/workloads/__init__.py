@@ -27,6 +27,12 @@ from repro.workloads.icebergs import (
     make_iceberg_chain,
     make_iceberg_database,
 )
+from repro.workloads.monitoring import (
+    MonitoringConfig,
+    MonitoringWorkload,
+    TickEvents,
+    make_monitoring_workload,
+)
 
 __all__ = [
     "SyntheticConfig",
@@ -41,4 +47,8 @@ __all__ = [
     "OceanCurrentField",
     "make_iceberg_chain",
     "make_iceberg_database",
+    "MonitoringConfig",
+    "MonitoringWorkload",
+    "TickEvents",
+    "make_monitoring_workload",
 ]

@@ -7,7 +7,6 @@ import pytest
 
 from repro import (
     ChainEstimator,
-    MarkovChain,
     StateDistribution,
     Trajectory,
     estimate_chain,

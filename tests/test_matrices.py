@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    MarkovChain,
     build_absorbing_matrices,
     build_doubled_matrices,
     build_ktimes_block_matrices,

@@ -9,7 +9,6 @@ from repro import (
     MarkovChain,
     SpatioTemporalWindow,
     StateDistribution,
-    ktimes_distribution,
     naive_exists_probability,
     naive_forall_probability,
     naive_ktimes_distribution,

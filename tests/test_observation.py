@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Observation, ObservationSet, StateDistribution
+from repro import Observation, ObservationSet
 from repro.core.errors import ObservationError
 
 

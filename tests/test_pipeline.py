@@ -14,6 +14,7 @@ The load-bearing properties:
 from __future__ import annotations
 
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -322,8 +323,8 @@ class TestExplain:
 
     def test_prune_true_enables_bfs_for_every_method(self):
         database = mixed_line_database(seed=15, multi_every=0)
-        engine = QueryEngine(database)
         for method in ("qb", "ob", "mc"):
+            engine = QueryEngine(database)  # the warning is per engine
             with pytest.warns(DeprecationWarning):
                 result = engine.evaluate(
                     PSTExistsQuery(WINDOW),
@@ -332,6 +333,22 @@ class TestExplain:
                     seed=0,
                 )
             assert result.plan.use_bfs
+
+    def test_prune_deprecation_warns_once_per_engine(self):
+        database = mixed_line_database(seed=15, multi_every=0)
+        engine = QueryEngine(database)
+        with pytest.warns(DeprecationWarning, match="PlanOptions"):
+            engine.evaluate(PSTExistsQuery(WINDOW), prune=True)
+        # a monitoring loop re-passing prune= must not warn again
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine.evaluate(PSTExistsQuery(WINDOW), prune=True)
+            engine.evaluate(PSTExistsQuery(WINDOW), prune=False)
+        # ... but a fresh engine warns anew
+        with pytest.warns(DeprecationWarning, match="PlanOptions"):
+            QueryEngine(database).evaluate(
+                PSTExistsQuery(WINDOW), prune=True
+            )
 
 
 class TestPlanCacheThreadSafety:

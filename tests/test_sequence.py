@@ -10,7 +10,6 @@ from repro import (
     PossibleWorldEnumerator,
     SpatioTemporalWindow,
     StateDistribution,
-    ob_exists_probability,
 )
 from repro.core.errors import QueryError, ValidationError
 from repro.core.sequence import Pattern, sequence_probability

@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    MarkovChain,
     Observation,
     ObservationSet,
     PSTExistsQuery,

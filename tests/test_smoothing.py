@@ -10,7 +10,6 @@ from repro import (
     Observation,
     ObservationSet,
     PossibleWorldEnumerator,
-    StateDistribution,
     map_trajectory,
     posterior_marginals,
 )

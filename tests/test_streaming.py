@@ -1,0 +1,423 @@
+"""Streaming engine: incremental sliding windows vs batch re-evaluation.
+
+The load-bearing property: a standing query advanced N ticks
+incrementally must return, at every tick, exactly what an independent
+batch ``evaluate()`` of that tick's window returns (within 1e-12) --
+including ticks where objects arrive, are re-sighted
+(``append_observation``), and leave mid-stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Observation,
+    PSTExistsQuery,
+    PSTForAllQuery,
+    PSTKTimesQuery,
+    QueryEngine,
+    SpatioTemporalWindow,
+    StreamingQueryEngine,
+    TrajectoryDatabase,
+    UncertainObject,
+)
+from repro.core.errors import QueryError
+from repro.core.state_space import LineStateSpace
+from repro.workloads.monitoring import (
+    MonitoringConfig,
+    make_monitoring_workload,
+)
+from repro.workloads.synthetic import (
+    make_line_chain,
+    make_object_distribution,
+)
+
+N_STATES = 400
+WINDOW = SpatioTemporalWindow.from_ranges(100, 120, 10, 13)
+
+
+def build_database(
+    seed: int, n_objects: int = 40, n_chains: int = 2
+) -> TrajectoryDatabase:
+    rng = np.random.default_rng(seed)
+    database = TrajectoryDatabase(
+        N_STATES, state_space=LineStateSpace(N_STATES)
+    )
+    for index in range(n_chains):
+        database.register_chain(
+            f"chain-{index}", make_line_chain(N_STATES, rng=rng)
+        )
+    for index in range(n_objects):
+        database.add(
+            UncertainObject.with_distribution(
+                f"obj-{index}",
+                make_object_distribution(N_STATES, 5, rng),
+                time=int(rng.integers(0, 5)),
+                chain_id=f"chain-{index % n_chains}",
+            )
+        )
+    return database
+
+
+def shifted(window: SpatioTemporalWindow, offset: int):
+    return SpatioTemporalWindow(
+        window.region, frozenset(t + offset for t in window.times)
+    )
+
+
+def assert_tick_parity(result, reference, database):
+    assert set(result.values) == set(reference.values)
+    for object_id in database.object_ids:
+        assert result.values[object_id] == pytest.approx(
+            reference.values[object_id], abs=1e-12
+        )
+
+
+class TestSlidingParity:
+    @pytest.mark.parametrize("stride", [1, 2, 5])
+    def test_n_ticks_equal_n_evaluates(self, stride):
+        database = build_database(seed=1)
+        engine = QueryEngine(database)
+        standing = engine.watch(PSTExistsQuery(WINDOW), stride=stride)
+        reference = QueryEngine(database)
+        for tick in range(6):
+            result = standing.tick()
+            expected = reference.evaluate(
+                PSTExistsQuery(shifted(WINDOW, tick * stride))
+            )
+            assert_tick_parity(result, expected, database)
+            assert result.method == "streaming"
+            assert result.query.window == shifted(
+                WINDOW, tick * stride
+            )
+
+    def test_forall_parity(self):
+        database = build_database(seed=2, n_objects=25)
+        query = PSTForAllQuery(
+            SpatioTemporalWindow.from_ranges(0, 300, 6, 8)
+        )
+        standing = QueryEngine(database).watch(query, stride=2)
+        reference = QueryEngine(database)
+        for tick in range(4):
+            result = standing.tick()
+            expected = reference.evaluate(
+                PSTForAllQuery(shifted(query.window, tick * 2))
+            )
+            assert_tick_parity(result, expected, database)
+            # the result's query keeps the *original* region, not the
+            # complement the engine evaluates internally
+            assert result.query.window.region == query.region
+
+    def test_parity_with_mid_stream_mutations(self):
+        database = build_database(seed=3)
+        engine = QueryEngine(database)
+        standing = engine.watch(PSTExistsQuery(WINDOW))
+        reference = QueryEngine(database)
+        rng = np.random.default_rng(5)
+        for tick in range(8):
+            if tick == 2:  # a new object enters, observed "now"
+                database.append_observation(
+                    "late-arrival",
+                    Observation.uniform(
+                        tick, N_STATES, range(104, 109)
+                    ),
+                    chain_id="chain-0",
+                )
+            if tick == 5:  # an existing object is re-sighted
+                database.append_observation(
+                    "obj-0",
+                    Observation.uniform(
+                        tick, N_STATES, range(N_STATES)
+                    ),
+                )
+                database.remove("obj-7")
+            if tick == 7:  # a second re-sighting of the same object
+                database.append_observation(
+                    "obj-0",
+                    Observation.uniform(
+                        tick, N_STATES, range(N_STATES)
+                    ),
+                )
+            result = standing.tick()
+            expected = reference.evaluate(
+                PSTExistsQuery(shifted(WINDOW, tick))
+            )
+            assert_tick_parity(result, expected, database)
+        assert "late-arrival" in result.values
+        assert "obj-7" not in result.values
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_monitoring_scenarios(self, seed):
+        """The full generator: arrivals, re-sightings, departures."""
+        rng = np.random.default_rng(seed)
+        config = MonitoringConfig(
+            n_objects=30,
+            n_states=300,
+            n_chains=int(rng.integers(1, 3)),
+            n_ticks=6,
+            stride=int(rng.integers(1, 4)),
+            window_low=80,
+            window_high=110,
+            window_lead=int(rng.integers(4, 9)),
+            window_duration=int(rng.integers(2, 5)),
+            arrivals_per_tick=int(rng.integers(0, 3)),
+            resightings_per_tick=int(rng.integers(0, 3)),
+            departures_per_tick=int(rng.integers(0, 2)),
+            seed=seed * 101,
+        )
+        workload = make_monitoring_workload(config)
+        standing = QueryEngine(workload.database).watch(
+            workload.query, stride=config.stride
+        )
+        reference = QueryEngine(workload.database)
+        for tick in range(config.n_ticks):
+            workload.apply(tick)
+            result = standing.tick()
+            expected = reference.evaluate(
+                PSTExistsQuery(workload.window_at(tick))
+            )
+            assert_tick_parity(result, expected, workload.database)
+
+    def test_backfilled_observation_invalidates_posterior(self):
+        """A sighting inserted *below* an already-filtered one must be
+        folded in, not shadowed by the cached posterior."""
+        database = build_database(seed=30)
+        # a probe sitting on the window region, so its probability is
+        # O(0.1) and a stale posterior is far outside the tolerance
+        database.add(
+            UncertainObject.with_distribution(
+                "probe",
+                Observation.uniform(
+                    0, N_STATES, range(100, 121)
+                ).distribution,
+                chain_id="chain-0",
+            )
+        )
+        standing = QueryEngine(database).watch(PSTExistsQuery(WINDOW))
+        reference = QueryEngine(database)
+        for tick in range(6):
+            if tick == 1:  # re-sighting at t=6 -> posterior cached
+                database.append_observation(
+                    "probe",
+                    Observation.uniform(6, N_STATES, range(N_STATES)),
+                )
+            if tick == 3:  # backfill at t=5, below the cached time:
+                # informative (half the prior support) but feasible
+                database.append_observation(
+                    "probe",
+                    Observation.uniform(5, N_STATES, range(0, 111)),
+                )
+            result = standing.tick()
+            expected = reference.evaluate(
+                PSTExistsQuery(shifted(WINDOW, tick))
+            )
+            assert_tick_parity(result, expected, database)
+
+    def test_journal_truncation_forces_resync(self, monkeypatch):
+        from repro.database import uncertain_db
+
+        monkeypatch.setattr(uncertain_db, "_JOURNAL_LIMIT", 8)
+        database = build_database(seed=31)
+        standing = QueryEngine(database).watch(PSTExistsQuery(WINDOW))
+        reference = QueryEngine(database)
+        standing.tick()
+        synced = standing._synced_version
+        for index in range(20):  # overflow the bounded journal
+            database.add(
+                UncertainObject.at_state(
+                    f"burst-{index}",
+                    N_STATES,
+                    105 + index % 5,
+                    chain_id="chain-0",
+                )
+            )
+        assert database.changes_since(synced) is None
+        result = standing.tick()
+        expected = reference.evaluate(
+            PSTExistsQuery(shifted(WINDOW, 1))
+        )
+        assert_tick_parity(result, expected, database)
+
+    def test_chain_replacement_rebuilds(self):
+        database = build_database(seed=6, n_chains=1)
+        standing = QueryEngine(database).watch(PSTExistsQuery(WINDOW))
+        reference = QueryEngine(database)
+        standing.tick()
+        database.register_chain(
+            "chain-0",
+            make_line_chain(N_STATES, seed=999),
+        )
+        result = standing.tick()
+        expected = reference.evaluate(
+            PSTExistsQuery(shifted(WINDOW, 1))
+        )
+        assert_tick_parity(result, expected, database)
+
+
+class TestStreamingPlan:
+    def test_streaming_stage_reported(self):
+        database = build_database(seed=7)
+        standing = QueryEngine(database).watch(
+            PSTExistsQuery(WINDOW), stride=3
+        )
+        result = standing.tick()
+        plan = result.plan
+        assert plan is standing.explain()
+        names = [stage.name for stage in plan.stages]
+        assert names == ["streaming", "evaluate"]
+        streaming = plan.stages[0]
+        assert streaming.candidates_in == len(database)
+        assert 0 <= streaming.candidates_out <= len(database)
+        assert "tick 0" in streaming.detail
+        assert "stride 3" in streaming.detail
+        assert plan.requested_method == "streaming"
+        assert "streaming" in plan.describe()
+
+    def test_candidates_grow_with_horizon(self):
+        database = build_database(seed=8)
+        standing = QueryEngine(database).watch(PSTExistsQuery(WINDOW))
+        counts = []
+        for _ in range(6):
+            result = standing.tick()
+            counts.append(result.plan.stages[0].candidates_out)
+        # the horizon only grows, so BFS thresholds only ever admit
+        # more objects (no mutations in this run)
+        assert counts == sorted(counts)
+
+    def test_explain_before_tick_raises(self):
+        database = build_database(seed=9)
+        standing = QueryEngine(database).watch(PSTExistsQuery(WINDOW))
+        with pytest.raises(QueryError):
+            standing.explain()
+
+    def test_ktimes_rejected(self):
+        database = build_database(seed=10)
+        with pytest.raises(QueryError, match="k-times"):
+            QueryEngine(database).watch(PSTKTimesQuery(WINDOW))
+
+    def test_bad_stride_rejected(self):
+        database = build_database(seed=11)
+        with pytest.raises(QueryError, match="stride"):
+            QueryEngine(database).watch(PSTExistsQuery(WINDOW), stride=0)
+
+    def test_shares_engine_plan_cache(self):
+        database = build_database(seed=12, n_chains=1)
+        engine = QueryEngine(database)
+        engine.evaluate(PSTExistsQuery(WINDOW))
+        built = engine.plan_cache.stats.total_constructions
+        standing = engine.watch(PSTExistsQuery(WINDOW))
+        standing.tick()
+        # the standing query reuses the batch engine's absorbing
+        # matrices; only backward artefacts may be added
+        constructions = engine.plan_cache.stats.constructions
+        assert constructions.get("absorbing", 0) == 1
+        assert engine.plan_cache.stats.total_constructions <= built + 1
+
+    def test_standalone_streaming_engine(self):
+        database = build_database(seed=13)
+        streaming = StreamingQueryEngine(database)
+        standing = streaming.watch(PSTExistsQuery(WINDOW))
+        result = standing.tick()
+        assert len(result) == len(database)
+
+
+class TestOnlineAppends:
+    def test_version_and_journal(self):
+        database = build_database(seed=14, n_objects=2, n_chains=1)
+        version = database.version
+        database.append_observation(
+            "fresh",
+            Observation.precise(0, N_STATES, 50),
+            chain_id="chain-0",
+        )
+        database.append_observation(
+            "fresh", Observation.precise(3, N_STATES, 60)
+        )
+        database.remove("fresh")
+        changes = database.changes_since(version)
+        assert [c.op for c in changes] == ["add", "observe", "remove"]
+        assert all(c.object_id == "fresh" for c in changes)
+        assert database.changes_since(database.version) == []
+
+    def test_append_makes_multi_observation(self):
+        database = build_database(seed=15, n_objects=3, n_chains=1)
+        updated = database.append_observation(
+            "obj-0", Observation.uniform(9, N_STATES, range(N_STATES))
+        )
+        assert updated.has_multiple_observations()
+        assert database.get("obj-0").observations.last.time == 9
+
+    def test_append_validates_state_count(self):
+        database = build_database(seed=16, n_objects=2, n_chains=1)
+        with pytest.raises(Exception):
+            database.append_observation(
+                "obj-0", Observation.precise(9, N_STATES + 1, 0)
+            )
+
+    def test_prefilter_patched_incrementally(self):
+        database = build_database(seed=17, n_chains=1)
+        prefilter = database.geometric_prefilter("chain-0")
+        assert prefilter is not None
+        window = shifted(WINDOW, 0)
+        before = set(prefilter.candidate_ids(window, 0))
+
+        database.add(
+            UncertainObject.with_distribution(
+                "inside",
+                make_object_distribution(
+                    N_STATES, 5, np.random.default_rng(0)
+                ),
+                chain_id="chain-0",
+            )
+        )
+        database.add(
+            UncertainObject.at_state(
+                "right-there", N_STATES, 110, chain_id="chain-0"
+            )
+        )
+        # the same prefilter object is patched, not rebuilt
+        assert database.geometric_prefilter("chain-0") is prefilter
+        after = set(prefilter.candidate_ids(window, 0))
+        assert "right-there" in after
+        assert before <= after | {"right-there", "inside"}
+
+        database.remove("right-there")
+        assert "right-there" not in set(
+            prefilter.candidate_ids(window, 0)
+        )
+
+    def test_prefilter_matches_fresh_rebuild(self):
+        """Patched probes equal a from-scratch STR build."""
+        rng = np.random.default_rng(18)
+        database = build_database(seed=18, n_chains=1)
+        prefilter = database.geometric_prefilter("chain-0")
+        for index in range(20):
+            database.add(
+                UncertainObject.with_distribution(
+                    f"new-{index}",
+                    make_object_distribution(N_STATES, 5, rng),
+                    chain_id="chain-0",
+                )
+            )
+        for index in range(0, 20, 3):
+            database.remove(f"new-{index}")
+        window = shifted(WINDOW, 3)
+        patched = set(prefilter.candidate_ids(window, 0))
+        prefilter.rebuild()
+        rebuilt = set(prefilter.candidate_ids(window, 0))
+        assert patched == rebuilt
+
+    def test_min_levels_serves_every_horizon(self):
+        database = build_database(seed=19, n_chains=1)
+        engine = QueryEngine(database)
+        levels = engine.pruner.min_levels("chain-0", WINDOW.region)
+        assert levels.shape == (N_STATES,)
+        assert all(levels[state] == 0 for state in WINDOW.region)
+        for obj in database:
+            steps = engine.pruner.min_steps(obj, WINDOW.region)
+            horizon = WINDOW.t_end - obj.initial.time
+            assert engine.pruner.can_satisfy(obj, WINDOW) == (
+                steps <= horizon
+            )
