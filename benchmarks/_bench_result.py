@@ -58,6 +58,9 @@ def write_result(name: str, payload: Dict[str, Any]) -> Path:
         "name": name,
         "unix_time": time.time(),
         "smoke": smoke_mode(),
+        # lets check_regression.py refuse to gate wall times across
+        # different hardware classes
+        "cpu_count": os.cpu_count(),
         **payload,
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True))

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compare fresh ``BENCH_*.json`` results against committed baselines.
+
+CI runs every benchmark's ``--smoke`` mode, which writes one
+``BENCH_<name>.json`` each; this script compares each fresh file
+against the snapshot committed under ``benchmarks/baselines/`` and
+fails when a benchmark's wall time regressed by more than the
+tolerance (default 25%, override with
+``BENCH_REGRESSION_TOLERANCE=0.4`` etc.).
+
+The wall-time metric per file:
+
+* standalone benchmarks -- the sum of every top-level ``*_seconds``
+  number (e.g. ``streaming_seconds + replan_seconds``);
+* pytest-benchmark figure suites -- the sum of per-test
+  ``mean_seconds``;
+* calibration -- ``elapsed_seconds``.
+
+Files whose baseline is missing, whose ``smoke`` flag differs from
+the baseline's, or whose baseline was recorded on a different
+hardware class (``cpu_count`` mismatch) are reported and skipped -- a
+scale or hardware change is not a regression; the gate only compares
+like with like.  Refresh the committed snapshot after an intentional
+perf change (or on the gating machine) with::
+
+    python benchmarks/check_regression.py --update
+
+Run:  python benchmarks/check_regression.py [--current-dir .]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+DEFAULT_TOLERANCE = 0.25
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def wall_seconds(document: dict) -> Optional[float]:
+    """The file's canonical wall-time metric (None when it has none)."""
+    if document.get("kind") == "pytest-benchmark":
+        means = [
+            bench.get("mean_seconds")
+            for bench in document.get("benchmarks", [])
+        ]
+        means = [m for m in means if isinstance(m, (int, float))]
+        return sum(means) if means else None
+    totals = [
+        value
+        for key, value in document.items()
+        if key.endswith("_seconds") and isinstance(value, (int, float))
+    ]
+    return sum(totals) if totals else None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >tolerance wall-time regressions vs "
+                    "benchmarks/baselines/"
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the freshly written BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=BASELINE_DIR
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(
+            os.environ.get(
+                "BENCH_REGRESSION_TOLERANCE", DEFAULT_TOLERANCE
+            )
+        ),
+        help="allowed fractional slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh results over the committed baselines "
+             "instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_files = sorted(args.current_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(
+            f"no BENCH_*.json under {args.current_dir}", file=sys.stderr
+        )
+        return 2
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in fresh_files:
+            shutil.copy(path, args.baseline_dir / path.name)
+            print(f"baseline updated: {path.name}")
+        return 0
+
+    regressions: List[str] = []
+    compared = 0
+    for path in fresh_files:
+        baseline_path = args.baseline_dir / path.name
+        if not baseline_path.exists():
+            print(f"{path.name}: no baseline, skipped")
+            continue
+        fresh = json.loads(path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        if bool(fresh.get("smoke")) != bool(baseline.get("smoke")):
+            print(
+                f"{path.name}: smoke flag differs from baseline, "
+                f"skipped"
+            )
+            continue
+        fresh_cores = fresh.get("cpu_count")
+        baseline_cores = baseline.get("cpu_count")
+        if (
+            fresh_cores is not None
+            and baseline_cores is not None
+            and fresh_cores != baseline_cores
+        ):
+            # a wall-time gate across hardware classes measures the
+            # hardware, not the code: report, don't fail.  Refresh
+            # the snapshot on the gating machine with --update.
+            print(
+                f"{path.name}: baseline from {baseline_cores}-core "
+                f"machine, this one has {fresh_cores} -- "
+                f"informational only"
+            )
+            continue
+        fresh_wall = wall_seconds(fresh)
+        baseline_wall = wall_seconds(baseline)
+        if fresh_wall is None or baseline_wall is None:
+            print(f"{path.name}: no wall-time metric, skipped")
+            continue
+        compared += 1
+        ratio = fresh_wall / baseline_wall if baseline_wall else 1.0
+        status = "ok"
+        if ratio > 1.0 + args.tolerance:
+            status = "REGRESSION"
+            regressions.append(
+                f"{path.name}: {baseline_wall:.3f}s -> "
+                f"{fresh_wall:.3f}s ({ratio:.2f}x, allowed "
+                f"{1.0 + args.tolerance:.2f}x)"
+            )
+        print(
+            f"{path.name}: {baseline_wall:.3f}s -> {fresh_wall:.3f}s "
+            f"({ratio:.2f}x) {status}"
+        )
+
+    if regressions:
+        print(
+            "wall-time regressions beyond tolerance:", file=sys.stderr
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"compared {compared} benchmarks, no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

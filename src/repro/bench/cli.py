@@ -5,15 +5,26 @@ Examples::
     repro-bench --list
     repro-bench fig8a
     repro-bench --all --scale 0.5 --output results/
+    repro-bench calibrate --smoke
 
 Each experiment prints an ASCII table to stdout; with ``--output`` it
 also writes ``<id>.md`` and ``<id>.csv`` into the given directory.
+
+``repro-bench calibrate`` is special: it measures every operator
+kernel over a parameter grid (:mod:`repro.exec.calibrate`), fits the
+planner's :class:`~repro.core.planner.CostModel` coefficients to this
+machine, persists them (default ``~/.repro/costmodel.json``, see
+``CostModel.from_calibration``) and fails when the fitted model picks
+the observed-fastest kernel on less than 80% of the held-out grid.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -21,6 +32,8 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import to_ascii_table, to_csv, to_markdown
 
 __all__ = ["main"]
+
+REQUIRED_CALIBRATION_ACCURACY = 0.8
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -32,7 +45,21 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids to run (see --list)",
+        help="experiment ids to run (see --list), or the special "
+             "command 'calibrate'",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="calibrate: seconds-scale CI grid",
+    )
+    parser.add_argument(
+        "--costmodel-path",
+        type=Path,
+        default=None,
+        help="calibrate: where to write the fitted coefficients "
+             "(default ~/.repro/costmodel.json or "
+             "$REPRO_COSTMODEL_PATH)",
     )
     parser.add_argument(
         "--all", action="store_true", help="run every experiment"
@@ -56,9 +83,87 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_bench_result(name: str, payload: dict) -> Path:
+    """Persist ``BENCH_<name>.json`` (same shape as benchmarks/)."""
+    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(
+        {
+            "name": name,
+            "unix_time": time.time(),
+            "cpu_count": os.cpu_count(),
+            **payload,
+        },
+        indent=2,
+        sort_keys=True,
+    ))
+    print(f"wrote {path}")
+    return path
+
+
+def _run_calibrate(args) -> int:
+    """``repro-bench calibrate``: fit the cost model to this machine."""
+    from repro.exec.calibrate import (
+        CalibrationConfig,
+        bench_payload,
+        calibrate,
+    )
+
+    config = CalibrationConfig(smoke=args.smoke)
+    result = calibrate(
+        config,
+        path=(
+            str(args.costmodel_path)
+            if args.costmodel_path is not None
+            else None
+        ),
+        # a fit below the gate is reported and fails the run, but is
+        # never persisted where from_calibration would pick it up
+        min_accuracy=REQUIRED_CALIBRATION_ACCURACY,
+    )
+    destination = result.path or "(not persisted: below accuracy gate)"
+    print(
+        f"calibrated {result.n_points} grid points "
+        f"({result.elapsed_seconds:.1f} s); coefficients -> "
+        f"{destination}"
+    )
+    for name in (
+        "sweep_unit", "dense_sweep_unit", "dot_unit",
+        "build_unit", "mc_step_unit", "object_overhead",
+    ):
+        print(f"  {name:<18} = {getattr(result.model, name):.3e}")
+    print(
+        f"held-out argmin accuracy: {result.accuracy:.0%} on "
+        f"{result.n_holdout} points "
+        f"(required: {REQUIRED_CALIBRATION_ACCURACY:.0%})"
+    )
+    _write_bench_result(
+        "calibrate", {**bench_payload(result), "smoke": args.smoke}
+    )
+    if result.accuracy < REQUIRED_CALIBRATION_ACCURACY:
+        print(
+            f"FAIL: calibrated model picks the observed-fastest "
+            f"kernel on only {result.accuracy:.0%} of the held-out "
+            f"grid",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _parser().parse_args(argv)
+    if args.experiments and args.experiments[0] == "calibrate":
+        if len(args.experiments) > 1:
+            print(
+                "calibrate takes no extra experiment ids",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_calibrate(args)
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)

@@ -11,9 +11,15 @@ experiments amortise the linear algebra.  Per row the products are
 identical to the per-object path, so results agree exactly (asserted to
 1e-12 in the test suite).
 
-Three batched evaluators are provided, mirroring the per-object
-functions of :mod:`repro.core.object_based` and
-:mod:`repro.core.query_based`:
+Since the operator-layer refactor these functions are thin schedule
+builders over :mod:`repro.exec.operators`: the sweeps themselves run as
+:data:`~repro.exec.operators.FORWARD_SWEEP` /
+:data:`~repro.exec.operators.BACKWARD_SWEEP` /
+:data:`~repro.exec.operators.MC_SAMPLE`, the *same* operator instances
+the per-object fallbacks, the streaming ladder, and the process-pool
+shard workers of :mod:`repro.exec.dispatch` execute.  Three batched
+evaluators are provided, mirroring the per-object functions of
+:mod:`repro.core.object_based` and :mod:`repro.core.query_based`:
 
 * :func:`batch_ob_exists` -- the Section V-A forward pass over the
   absorbing matrices, with mixed per-object start times handled by
@@ -27,7 +33,9 @@ functions of :mod:`repro.core.object_based` and
   observations.
 
 All three accept an optional :class:`~repro.core.plan_cache.PlanCache`
-so repeated windows skip matrix construction entirely.
+so repeated windows skip matrix construction entirely, and an optional
+:class:`~repro.exec.operators.ExecutionContext` collecting per-operator
+timings for EXPLAIN ANALYZE output.
 """
 
 from __future__ import annotations
@@ -37,18 +45,20 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.distribution import StateDistribution
-from repro.core.errors import (
-    InfeasibleEvidenceError,
-    QueryError,
-    ValidationError,
-)
+from repro.core.errors import QueryError, ValidationError
 from repro.core.markov import MarkovChain
 from repro.core.matrices import AbsorbingMatrices, DoubledMatrices
 from repro.core.observation import ObservationSet
-from repro.core.plan_cache import resolve_absorbing, resolve_doubled
 from repro.core.query import SpatioTemporalWindow
-from repro.linalg.ops import matvec
-from repro.linalg.sparse import CSRMatrix
+from repro.exec.operators import (
+    BACKWARD_SWEEP,
+    BUILD_ABSORBING,
+    BUILD_DOUBLED,
+    FORWARD_SWEEP,
+    MC_SAMPLE,
+    ExecutionContext,
+    SweepSchedule,
+)
 
 __all__ = [
     "backward_vectors",
@@ -110,72 +120,11 @@ def _rows_by_start(starts: Sequence[int]) -> Dict[int, List[int]]:
     return groups
 
 
-class _ForwardStack:
-    """The stacked distributions of all objects during one sweep.
-
-    For the scipy backend the stack is kept *transposed* -- a
-    C-contiguous ``(size, n_objects)`` array -- so each transition is
-    ``M^T @ X^T`` over the matrices' cached transposes: one CSR
-    matvecs kernel call per timestep with no copies in the loop
-    (measurably faster than ``X @ M``, which scipy evaluates through
-    CSC).  The pure-Python backend falls back to row-wise
-    :func:`~repro.linalg.ops.matmat`.
-    """
-
-    def __init__(self, matrices, n_objects: int) -> None:
-        self.matrices = matrices
-        self._transposed = not isinstance(matrices.m_minus, CSRMatrix)
-        if self._transposed:
-            self.stack = np.zeros(
-                (matrices.size, n_objects), dtype=float
-            )
-        else:
-            self.stack = np.zeros(
-                (n_objects, matrices.size), dtype=float
-            )
-
-    def set_row(self, row: int, vector: np.ndarray) -> None:
-        if self._transposed:
-            self.stack[:, row] = vector
-        else:
-            self.stack[row] = vector
-
-    def row(self, row: int) -> np.ndarray:
-        return (
-            self.stack[:, row] if self._transposed else self.stack[row]
-        )
-
-    def column(self, index: int) -> np.ndarray:
-        """One entry per object (e.g. the TOP component)."""
-        return (
-            self.stack[index].copy()
-            if self._transposed
-            else self.stack[:, index].copy()
-        )
-
-    def tail_sums(self, row: int, offset: int) -> float:
-        """Sum of entries ``offset:`` of one object's vector."""
-        return float(self.row(row)[offset:].sum())
-
-    def step(self, time: int, times) -> None:
-        if self._transposed:
-            minus_t, plus_t = self.matrices.transposed()
-            matrix = plus_t if time in times else minus_t
-            self.stack = matrix @ self.stack
-        else:
-            self.stack = np.asarray(
-                self.matrices.backend.matmat(
-                    self.stack,
-                    self.matrices.matrix_for_target_time(time, times),
-                ),
-                dtype=float,
-            )
-
-
 def backward_vectors(
     matrices: AbsorbingMatrices,
     window: SpatioTemporalWindow,
     start_times: Iterable[int],
+    context: Optional[ExecutionContext] = None,
 ) -> Dict[int, np.ndarray]:
     """Section V-B backward vectors for every requested start time.
 
@@ -183,34 +132,14 @@ def backward_vectors(
     for *all* intermediate ``t``; the requested ones are copied out.
     Each returned vector is bit-identical to the one
     :class:`~repro.core.query_based.QueryBasedEvaluator` computes for
-    that start time alone.
+    that start time alone.  Delegates to
+    :data:`~repro.exec.operators.BACKWARD_SWEEP`.
     """
-    wanted = sorted({int(t) for t in start_times})
-    if not wanted:
-        return {}
-    if wanted[0] < 0:
-        raise QueryError(
-            f"start_time must be non-negative, got {wanted[0]}"
-        )
-    if window.t_start < wanted[-1]:
-        raise QueryError(
-            f"query time {window.t_start} precedes start_time "
-            f"{wanted[-1]}"
-        )
-    vector = np.zeros(matrices.size, dtype=float)
-    vector[matrices.top_index] = 1.0
-    result: Dict[int, np.ndarray] = {}
-    if window.t_end in wanted:  # degenerate: observation at t_end
-        result[window.t_end] = vector.copy()
-    remaining = set(wanted) - set(result)
-    for time in range(window.t_end - 1, wanted[0] - 1, -1):
-        matrix = matrices.matrix_for_target_time(
-            time + 1, window.times
-        )
-        vector = np.asarray(matvec(matrix, vector), dtype=float)
-        if time in remaining:
-            result[time] = vector.copy()
-    return result
+    return BACKWARD_SWEEP(
+        (matrices, window, start_times),
+        region=window.region,
+        context=context,
+    )
 
 
 def batch_ob_exists(
@@ -221,6 +150,7 @@ def batch_ob_exists(
     matrices: Optional[AbsorbingMatrices] = None,
     backend: Optional[str] = None,
     plan_cache=None,
+    context: Optional[ExecutionContext] = None,
 ) -> np.ndarray:
     """Object-based PST-exists for many objects in one forward sweep.
 
@@ -236,6 +166,7 @@ def batch_ob_exists(
         backend: linear-algebra backend name.
         plan_cache: optional :class:`~repro.core.plan_cache.PlanCache`
             supplying the matrices.
+        context: optional operator-timing context.
 
     Returns:
         ``P_exists`` per object, aligned with ``initials``.
@@ -247,27 +178,31 @@ def batch_ob_exists(
     _check_initials(chain, initials)
     starts = _normalize_starts(start_times, n_objects)
     _check_starts(window, starts)
-    matrices = resolve_absorbing(
-        chain, window.region, backend, plan_cache, matrices
+    matrices = BUILD_ABSORBING(
+        matrices, chain, window.region, backend,
+        context=context, plan_cache=plan_cache,
     )
 
-    stack = _ForwardStack(matrices, n_objects)
-    by_start = _rows_by_start(starts)
-
-    def activate(time: int) -> None:
-        for row in by_start.get(time, ()):
-            stack.set_row(row, matrices.extend_initial(
-                np.asarray(initials[row].vector, dtype=float),
-                time,
-                window.times,
-            ))
-
+    activations: Dict[int, List] = {}
+    for row, start in enumerate(starts):
+        activations.setdefault(start, []).append(
+            (row, initials[row].vector)
+        )
     first = min(starts)
-    activate(first)
-    for time in range(first + 1, window.t_end + 1):
-        stack.step(time, window.times)
-        activate(time)
-    return stack.column(matrices.top_index)
+    schedule = SweepSchedule(
+        n_rows=n_objects,
+        first=first,
+        last=window.t_end,
+        times=window.times,
+        activations=activations,
+        harvests={window.t_end: list(range(n_objects))},
+        read="top",
+        read_offset=matrices.top_index,
+    )
+    return FORWARD_SWEEP(
+        (matrices, schedule), chain, window.region, backend,
+        context=context,
+    )
 
 
 def batch_qb_exists(
@@ -278,6 +213,7 @@ def batch_qb_exists(
     matrices: Optional[AbsorbingMatrices] = None,
     backend: Optional[str] = None,
     plan_cache=None,
+    context: Optional[ExecutionContext] = None,
 ) -> np.ndarray:
     """Query-based PST-exists for many objects: one backward pass,
     one GEMV per start-time group.
@@ -297,14 +233,16 @@ def batch_qb_exists(
     if plan_cache is not None and matrices is None:
         # cache the backward vectors themselves, not just the matrices
         vectors = plan_cache.backward_vectors(
-            chain, window, unique_starts, backend
+            chain, window, unique_starts, backend, context=context
         )
         matrices = plan_cache.absorbing(chain, window.region, backend)
     else:
-        matrices = resolve_absorbing(
-            chain, window.region, backend, None, matrices
+        matrices = BUILD_ABSORBING(
+            matrices, chain, window.region, backend, context=context
         )
-        vectors = backward_vectors(matrices, window, unique_starts)
+        vectors = backward_vectors(
+            matrices, window, unique_starts, context=context
+        )
 
     result = np.zeros(n_objects, dtype=float)
     for start, rows in _rows_by_start(starts).items():
@@ -327,6 +265,7 @@ def batch_exists_multi(
     matrices: Optional[DoubledMatrices] = None,
     backend: Optional[str] = None,
     plan_cache=None,
+    context: Optional[ExecutionContext] = None,
 ) -> np.ndarray:
     """Section VI PST-exists for many multi-observation objects at once.
 
@@ -354,15 +293,17 @@ def batch_exists_multi(
     starts = [observations.first.time for observations in observation_sets]
     _normalize_starts(starts, n_objects)
     _check_starts(window, starts)
-    matrices = resolve_doubled(
-        chain, window.region, backend, plan_cache, matrices
+    matrices = BUILD_DOUBLED(
+        matrices, chain, window.region, backend,
+        context=context, plan_cache=plan_cache,
     )
 
-    finals = [
-        max(window.t_end, observations.last.time)
-        for observations in observation_sets
-    ]
-    fusions: Dict[int, List[tuple]] = {}
+    activations: Dict[int, List] = {}
+    for row, observations in enumerate(observation_sets):
+        activations.setdefault(starts[row], []).append(
+            (row, observations.first.distribution.vector)
+        )
+    fusions: Dict[int, List] = {}
     for row, observations in enumerate(observation_sets):
         for observation in observations.after(starts[row]):
             fusions.setdefault(observation.time, []).append((
@@ -373,45 +314,29 @@ def batch_exists_multi(
                     )
                 ),
             ))
-    by_start = _rows_by_start(starts)
-    by_final = _rows_by_start(finals)
+    harvests: Dict[int, List[int]] = {}
+    finals = [
+        max(window.t_end, observations.last.time)
+        for observations in observation_sets
+    ]
+    for row, final in enumerate(finals):
+        harvests.setdefault(final, []).append(row)
 
-    stack = _ForwardStack(matrices, n_objects)
-    result = np.zeros(n_objects, dtype=float)
-    n = matrices.n_states
-
-    def activate(time: int) -> None:
-        for row in by_start.get(time, ()):
-            stack.set_row(row, matrices.extend_initial(
-                np.asarray(
-                    observation_sets[row].first.distribution.vector,
-                    dtype=float,
-                ),
-                time,
-                window.times,
-            ))
-
-    def harvest(time: int) -> None:
-        for row in by_final.get(time, ()):
-            result[row] = stack.tail_sums(row, n)
-
-    first = min(starts)
-    activate(first)
-    harvest(first)
-    for time in range(first + 1, max(finals) + 1):
-        stack.step(time, window.times)
-        activate(time)
-        for row, tiled in fusions.get(time, ()):
-            fused = stack.row(row) * tiled
-            total = float(fused.sum())
-            if total <= 0.0:
-                raise InfeasibleEvidenceError(
-                    f"observation at t={time} contradicts the "
-                    f"trajectory model: posterior mass is zero"
-                )
-            stack.set_row(row, fused / total)
-        harvest(time)
-    return result
+    schedule = SweepSchedule(
+        n_rows=n_objects,
+        first=min(starts),
+        last=max(finals),
+        times=window.times,
+        activations=activations,
+        fusions=fusions,
+        harvests=harvests,
+        read="tail",
+        read_offset=matrices.n_states,
+    )
+    return FORWARD_SWEEP(
+        (matrices, schedule), chain, window.region, backend,
+        context=context,
+    )
 
 
 def batch_mc_exists(
@@ -420,6 +345,7 @@ def batch_mc_exists(
     window: SpatioTemporalWindow,
     n_samples: int = 100,
     seeds: Optional[Sequence[Optional[int]]] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> np.ndarray:
     """Monte-Carlo PST-exists for many objects sharing a chain.
 
@@ -439,13 +365,12 @@ def batch_mc_exists(
         n_samples: sampled paths per object (paper default 100).
         seeds: one RNG seed per object (``None`` entries sample
             nondeterministically); omitted = all nondeterministic.
+        context: optional operator-timing context.
 
     Returns:
         Estimated ``P_exists`` per object, aligned with
         ``observation_sets``.
     """
-    from repro.core.montecarlo import MonteCarloSampler
-
     n_objects = len(observation_sets)
     window.validate_for(chain.n_states)
     if n_objects == 0:
@@ -456,20 +381,8 @@ def batch_mc_exists(
         raise ValidationError(
             f"{len(seeds)} seeds for {n_objects} objects"
         )
-    sampler = MonteCarloSampler(chain)
-    result = np.zeros(n_objects, dtype=float)
-    for row, observations in enumerate(observation_sets):
-        sampler.reseed(seeds[row])
-        if len(observations) > 1:
-            estimate = sampler.exists_probability_multi(
-                observations, window, n_samples
-            )
-        else:
-            estimate = sampler.exists_probability(
-                observations.first.distribution,
-                window,
-                n_samples,
-                start_time=observations.first.time,
-            )
-        result[row] = estimate.estimate
-    return result
+    return MC_SAMPLE(
+        (observation_sets, window, n_samples, seeds),
+        chain, window.region, None,
+        context=context,
+    )

@@ -6,8 +6,15 @@
 (:mod:`repro.core.planner`) picks query-based, object-based or
 Monte-Carlo processing per chain group, and the plan runs as a staged
 filter--refinement pipeline (:mod:`repro.core.pipeline`) -- R-tree
-geometric prefilter, exact BFS reachability pruning, then the batched
-evaluation kernels, with chain groups dispatched across a worker pool.
+geometric prefilter, exact BFS reachability pruning, then the shared
+operator layer (:mod:`repro.exec.operators`), dispatched serially,
+across a thread pool (independent chain groups), or across the
+shared-memory process pool of :mod:`repro.exec.dispatch` (chain
+groups *and* within-chain object shards -- the mode that scales a
+single-chain database past the GIL).  Pass
+``cost_model=CostModel.from_calibration()`` to plan with coefficients
+measured on this machine (``repro-bench calibrate``,
+:mod:`repro.exec.calibrate`) instead of the hand-derived defaults.
 Forcing a method is still supported:
 
 * ``"qb"`` -- query-based: one backward pass per chain, then one dot
@@ -140,7 +147,10 @@ class QueryEngine:
             amortise construction across several engines (it is
             thread-safe).
         cost_model: planner coefficients; defaults are tuned for the
-            batched scipy kernels.
+            batched scipy kernels.  Use
+            :meth:`~repro.core.planner.CostModel.from_calibration`
+            for coefficients least-squares-fitted to this machine's
+            measured kernel times.
     """
 
     def __init__(

@@ -25,17 +25,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.distribution import StateDistribution
-from repro.core.errors import (
-    InfeasibleEvidenceError,
-    QueryError,
-    ValidationError,
-)
+from repro.core.errors import QueryError, ValidationError
 from repro.core.markov import MarkovChain
 from repro.core.matrices import AbsorbingMatrices, DoubledMatrices
 from repro.core.observation import ObservationSet
 from repro.core.plan_cache import resolve_absorbing, resolve_doubled
 from repro.core.query import SpatioTemporalWindow
-from repro.linalg.ops import vecmat
+from repro.exec.operators import FORWARD_SWEEP, SweepSchedule
 
 __all__ = [
     "ob_exists_probability",
@@ -112,21 +108,24 @@ def ob_exists_probability(
         chain, window.region, backend, plan_cache, matrices
     )
 
-    vector = matrices.extend_initial(
-        np.asarray(initial.vector, dtype=float), start_time, window.times
+    # a one-row schedule through the shared ForwardSweep operator: the
+    # same kernel the batched path runs, with Section V-C early
+    # termination expressed as the schedule's stop threshold
+    schedule = SweepSchedule(
+        n_rows=1,
+        first=start_time,
+        last=window.t_end,
+        times=window.times,
+        activations={start_time: [(0, initial.vector)]},
+        harvests={window.t_end: [0]},
+        read="top",
+        read_offset=matrices.top_index,
+        stop_threshold=stop_at_probability,
     )
-    top = matrices.top_index
-    if stop_at_probability is not None and vector[top] >= stop_at_probability:
-        return float(vector[top])
-    for time in range(start_time + 1, window.t_end + 1):
-        matrix = matrices.matrix_for_target_time(time, window.times)
-        vector = np.asarray(vecmat(vector, matrix), dtype=float)
-        if (
-            stop_at_probability is not None
-            and vector[top] >= stop_at_probability
-        ):
-            return float(vector[top])
-    return float(vector[top])
+    result = FORWARD_SWEEP(
+        (matrices, schedule), chain, window.region, backend
+    )
+    return float(result[0])
 
 
 def _ob_exists_pruned(
@@ -219,31 +218,15 @@ def ob_exists_probability_multi(
         chain, window.region, backend, plan_cache, matrices
     )
 
-    later = {
-        observation.time: observation
-        for observation in observations.after(first.time)
-    }
-    final_time = max(window.t_end, observations.last.time)
+    # the one-object case of the batched Section VI sweep: same
+    # operator, same schedule shape, one row
+    from repro.core.batch import batch_exists_multi
 
-    vector = matrices.extend_initial(
-        np.asarray(first.distribution.vector, dtype=float),
-        first.time,
-        window.times,
+    result = batch_exists_multi(
+        chain,
+        [observations],
+        window,
+        matrices=matrices,
+        backend=backend,
     )
-    for time in range(first.time + 1, final_time + 1):
-        matrix = matrices.matrix_for_target_time(time, window.times)
-        vector = np.asarray(vecmat(vector, matrix), dtype=float)
-        observation = later.get(time)
-        if observation is not None:
-            tiled = matrices.tile_observation(
-                np.asarray(observation.distribution.vector, dtype=float)
-            )
-            vector = vector * tiled
-            total = float(vector.sum())
-            if total <= 0.0:
-                raise InfeasibleEvidenceError(
-                    f"observation at t={time} contradicts the trajectory "
-                    f"model: posterior mass is zero"
-                )
-            vector = vector / total
-    return matrices.hit_probability(vector)
+    return float(result[0])

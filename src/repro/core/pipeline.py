@@ -14,10 +14,17 @@ monotonically non-increasing by construction):
    BFS per ``(chain, region, horizon)``, cached across queries, then an
    ``O(|support|)`` check per candidate.
 3. **evaluate** -- the surviving objects of each chain group run
-   through the batched kernels of :mod:`repro.core.batch` with the
-   group's planned method; independent chain groups are dispatched
-   across a :class:`~concurrent.futures.ThreadPoolExecutor` sharing
-   the engine's (thread-safe) plan cache.
+   through the shared operator layer (:mod:`repro.exec.operators`)
+   with the group's planned method, dispatched per the plan:
+   ``serial``, ``thread`` (chain groups across a
+   :class:`~concurrent.futures.ThreadPoolExecutor` sharing the
+   engine's thread-safe plan cache) or ``process`` (chain groups *and*
+   within-chain object shards across the shared-memory worker pool of
+   :mod:`repro.exec.dispatch`).
+
+Every stage and kernel call runs through the operators' timing hooks;
+the per-operator totals land on ``plan.operator_seconds`` (worker
+timings included), which ``QueryPlan.describe()`` renders.
 
 Both filters are *safe* -- they never remove an object whose true
 answer is non-zero -- and the kernels are exact, so pipeline output is
@@ -42,10 +49,16 @@ from repro.core.batch import (
 )
 from repro.core.errors import QueryError
 from repro.core.ktimes import ktimes_distribution
-from repro.core.planner import GroupPlan, QueryPlan, StageStats
+from repro.core.planner import CostModel, GroupPlan, QueryPlan, StageStats
 from repro.core.query import PSTKTimesQuery
 from repro.database.objects import UncertainObject
 from repro.database.pruning import ReachabilityPruner
+from repro.exec.operators import (
+    BFS_PRUNE,
+    BUILD_ABSORBING,
+    PREFILTER,
+    ExecutionContext,
+)
 
 __all__ = ["QueryPipeline"]
 
@@ -87,9 +100,10 @@ class QueryPipeline:
 
         Filter stages answer eliminated objects with the query's zero
         element (probability 0, or the point-mass-at-zero count
-        distribution for k-times).  ``plan.stages`` and the per-group
-        execution fields are filled in place -- the plan doubles as the
-        EXPLAIN ANALYZE artefact.
+        distribution for k-times).  ``plan.stages``,
+        ``plan.operator_seconds`` and the per-group execution fields
+        are filled in place -- the plan doubles as the EXPLAIN ANALYZE
+        artefact.
         """
         # semantic validation must not depend on what gets pruned: the
         # kernels reject these inputs, so a filtered run must too
@@ -117,6 +131,7 @@ class QueryPipeline:
                             "first observation only"
                         )
 
+        context = ExecutionContext(self.plan_cache, self.backend)
         values: Dict[str, ResultValue] = {}
         survivors: Dict[str, List[UncertainObject]] = {
             group.chain_id: list(group.objects) for group in plan.groups
@@ -124,9 +139,10 @@ class QueryPipeline:
         zero = self._zero_factory(plan, query)
         plan.stages = []
 
-        self._stage_prefilter(plan, survivors, values, zero)
-        self._stage_bfs(plan, survivors, values, zero)
-        self._stage_evaluate(plan, survivors, values, query)
+        self._stage_prefilter(plan, survivors, values, zero, context)
+        self._stage_bfs(plan, survivors, values, zero, context)
+        self._stage_evaluate(plan, survivors, values, query, context)
+        plan.operator_seconds = context.timings
         return values
 
     # ------------------------------------------------------------------
@@ -138,6 +154,7 @@ class QueryPipeline:
         survivors: Dict[str, List[UncertainObject]],
         values: Dict[str, ResultValue],
         zero: Callable[[], ResultValue],
+        context: ExecutionContext,
     ) -> None:
         entering = sum(len(objs) for objs in survivors.values())
         started = _time.perf_counter()
@@ -155,7 +172,11 @@ class QueryPipeline:
                     continue
                 available = True
                 min_start = min(obj.initial.time for obj in objects)
-                ids, visited = prefilter.probe(plan.window, min_start)
+                ids, visited = PREFILTER(
+                    (prefilter, plan.window, min_start),
+                    region=plan.window.region,
+                    context=context,
+                )
                 nodes_visited += visited
                 keep = set(ids)
                 kept: List[UncertainObject] = []
@@ -191,17 +212,19 @@ class QueryPipeline:
         survivors: Dict[str, List[UncertainObject]],
         values: Dict[str, ResultValue],
         zero: Callable[[], ResultValue],
+        context: ExecutionContext,
     ) -> None:
         entering = sum(len(objs) for objs in survivors.values())
         started = _time.perf_counter()
         if plan.use_bfs:
             for group in plan.groups:
-                kept: List[UncertainObject] = []
-                for obj in survivors[group.chain_id]:
-                    if self.pruner.can_satisfy(obj, plan.window):
-                        kept.append(obj)
-                    else:
-                        values[obj.object_id] = zero()
+                kept, removed = BFS_PRUNE(
+                    (self.pruner, survivors[group.chain_id], plan.window),
+                    region=plan.window.region,
+                    context=context,
+                )
+                for obj in removed:
+                    values[obj.object_id] = zero()
                 survivors[group.chain_id] = kept
         remaining = sum(len(objs) for objs in survivors.values())
         plan.stages.append(
@@ -223,6 +246,7 @@ class QueryPipeline:
         survivors: Dict[str, List[UncertainObject]],
         values: Dict[str, ResultValue],
         query,
+        context: ExecutionContext,
     ) -> None:
         entering = sum(len(objs) for objs in survivors.values())
         started = _time.perf_counter()
@@ -237,44 +261,75 @@ class QueryPipeline:
             else None
         )
 
-        def run_group(group: GroupPlan) -> Dict[str, ResultValue]:
-            objects = survivors[group.chain_id]
-            group_started = _time.perf_counter()
-            out: Dict[str, ResultValue] = {}
-            if objects:
-                chain = self.database.chain(group.chain_id)
-                if plan.kind == "ktimes":
-                    out = self._ktimes_kernel(
-                        chain, group, objects, plan, query, seed_index
-                    )
-                else:
-                    out = self._exists_kernel(
-                        chain, group, objects, plan, seed_index
-                    )
-            group.survivors = len(objects)
-            group.elapsed_seconds = (
-                _time.perf_counter() - group_started
+        mode = plan.dispatch if plan.parallel else "serial"
+        pool_tasks: Optional[int] = None
+        if mode == "process":
+            pool_tasks = self._evaluate_processes(
+                plan, survivors, values, context, seed_index
             )
-            return out
+            if pool_tasks is None:  # unavailable: degrade gracefully
+                mode = "thread" if len(plan.groups) > 1 else "serial"
 
-        busy = [
-            group
-            for group in plan.groups
-            if survivors[group.chain_id]
-        ]
-        if plan.parallel and len(busy) > 1:
-            with ThreadPoolExecutor(
-                max_workers=plan.max_workers
-            ) as pool:
-                for out in pool.map(run_group, plan.groups):
-                    values.update(out)
-            mode = f"parallel x{plan.max_workers}"
+        if mode != "process":
+            def run_group(group: GroupPlan) -> Dict[str, ResultValue]:
+                objects = survivors[group.chain_id]
+                group_started = _time.perf_counter()
+                out: Dict[str, ResultValue] = {}
+                if objects:
+                    chain = self.database.chain(group.chain_id)
+                    if plan.kind == "ktimes":
+                        out = self._ktimes_kernel(
+                            chain, group, objects, plan, query,
+                            seed_index,
+                        )
+                    else:
+                        out = self._exists_kernel(
+                            chain, group, objects, plan, seed_index,
+                            context,
+                        )
+                group.survivors = len(objects)
+                group.elapsed_seconds = (
+                    _time.perf_counter() - group_started
+                )
+                return out
+
+            busy = [
+                group
+                for group in plan.groups
+                if survivors[group.chain_id]
+            ]
+            if mode == "thread" and len(busy) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=plan.max_workers
+                ) as pool:
+                    for out in pool.map(run_group, plan.groups):
+                        values.update(out)
+            else:
+                mode = "serial"
+                for group in plan.groups:
+                    values.update(run_group(group))
+
+        if mode == "process":
+            # a process plan whose surviving work was all parent-side
+            # (multis/MC) must not claim pool execution in EXPLAIN
+            detail_mode = (
+                f"process x{plan.max_workers} "
+                f"({pool_tasks} pool task"
+                + ("s" if pool_tasks != 1 else "")
+                + ")"
+                if pool_tasks
+                else "process (parent-only)"
+            )
+        elif mode == "thread":
+            detail_mode = f"thread x{plan.max_workers}"
         else:
-            for group in plan.groups:
-                values.update(run_group(group))
-            mode = "serial"
+            detail_mode = "serial"
         methods = ",".join(
-            sorted({group.method for group in busy})
+            sorted({
+                group.method
+                for group in plan.groups
+                if survivors[group.chain_id] or group.survivors
+            })
         ) or "-"
         plan.stages.append(
             StageStats(
@@ -282,9 +337,113 @@ class QueryPipeline:
                 entering,
                 entering,
                 _time.perf_counter() - started,
-                f"{mode}, method={methods}",
+                f"{detail_mode}, method={methods}",
             )
         )
+
+    def _evaluate_processes(
+        self,
+        plan: QueryPlan,
+        survivors: Dict[str, List[UncertainObject]],
+        values: Dict[str, ResultValue],
+        context: ExecutionContext,
+        seed_index: Optional[Dict[str, int]],
+    ) -> Optional[int]:
+        """Process-pool evaluation; None when unavailable here, else
+        the number of group tasks actually shipped to the pool.
+
+        Single-observation qb/ob objects ship to the shared-memory
+        workers (within-chain shards for OB); multi-observation and
+        Monte-Carlo objects -- a small minority whose payloads are not
+        shared-memory friendly -- run in the parent with the exact
+        same kernels, so parity is unconditional.  Each group's
+        ``elapsed_seconds`` becomes the summed worker-side shard
+        seconds plus any parent-side multi/MC kernel time.
+        """
+        from repro.exec import dispatch as _dispatch
+
+        if plan.kind == "ktimes":
+            return None
+        if not _dispatch.process_dispatch_available():
+            return None
+        if self.backend not in (None, "scipy"):
+            return None
+
+        # the model the *planner* resolved (per-query override or
+        # engine default) -- execution must shard by the same knobs
+        model = plan.cost_model or plan.options.cost_model or CostModel()
+        tasks = []
+        task_groups: List[GroupPlan] = []
+        elapsed: Dict[str, float] = {}
+        parent_only: List[GroupPlan] = []
+        for group in plan.groups:
+            objects = survivors[group.chain_id]
+            group.survivors = len(objects)
+            elapsed[group.chain_id] = 0.0
+            if not objects:
+                continue
+            chain = self.database.chain(group.chain_id)
+            if group.method == "mc":
+                parent_only.append(group)
+                continue
+            singles = [
+                obj for obj in objects
+                if not obj.has_multiple_observations()
+            ]
+            multis = [
+                obj for obj in objects
+                if obj.has_multiple_observations()
+            ]
+            if singles:
+                matrices = BUILD_ABSORBING(
+                    None, chain, plan.window.region, self.backend,
+                    context=context, plan_cache=self.plan_cache,
+                )
+                tasks.append((chain, matrices, singles, group.method))
+                task_groups.append(group)
+            if multis:
+                started = _time.perf_counter()
+                probabilities = batch_exists_multi(
+                    chain,
+                    [obj.observations for obj in multis],
+                    plan.window,
+                    backend=self.backend,
+                    plan_cache=self.plan_cache,
+                    context=context,
+                )
+                elapsed[group.chain_id] += (
+                    _time.perf_counter() - started
+                )
+                for obj, probability in zip(multis, probabilities):
+                    values[obj.object_id] = float(probability)
+        for group in parent_only:
+            chain = self.database.chain(group.chain_id)
+            objects = survivors[group.chain_id]
+            started = _time.perf_counter()
+            values.update(
+                self._exists_kernel(
+                    chain, group, objects, plan, seed_index, context
+                )
+            )
+            elapsed[group.chain_id] += _time.perf_counter() - started
+        if tasks:
+            shard_values, group_seconds = (
+                _dispatch.run_groups_in_processes(
+                    tasks,
+                    plan.window,
+                    max_workers=plan.max_workers,
+                    shard_min_objects=model.shard_min_objects,
+                    backend=self.backend,
+                    plan_cache=self.plan_cache,
+                    context=context,
+                )
+            )
+            values.update(shard_values)
+            for group, seconds in zip(task_groups, group_seconds):
+                elapsed[group.chain_id] += seconds
+        for group in plan.groups:
+            group.elapsed_seconds = elapsed[group.chain_id]
+        return len(tasks)
 
     def _exists_kernel(
         self,
@@ -293,6 +452,7 @@ class QueryPipeline:
         objects: List[UncertainObject],
         plan: QueryPlan,
         seed_index: Optional[Dict[str, int]],
+        context: Optional[ExecutionContext] = None,
     ) -> Dict[str, ResultValue]:
         out: Dict[str, ResultValue] = {}
         if group.method == "mc":
@@ -302,6 +462,7 @@ class QueryPipeline:
                 plan.window,
                 n_samples=plan.options.n_samples,
                 seeds=self._seeds(objects, plan, seed_index),
+                context=context,
             )
             for obj, probability in zip(objects, probabilities):
                 out[obj.object_id] = float(probability)
@@ -327,6 +488,7 @@ class QueryPipeline:
                 start_times=[obj.initial.time for obj in singles],
                 backend=self.backend,
                 plan_cache=self.plan_cache,
+                context=context,
             )
             for obj, probability in zip(singles, probabilities):
                 out[obj.object_id] = float(probability)
@@ -337,6 +499,7 @@ class QueryPipeline:
                 plan.window,
                 backend=self.backend,
                 plan_cache=self.plan_cache,
+                context=context,
             )
             for obj, probability in zip(multis, probabilities):
                 out[obj.object_id] = float(probability)

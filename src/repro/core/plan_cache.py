@@ -210,6 +210,67 @@ class PlanCache:
     ) -> Tuple[Hashable, ...]:
         return (kind, chain.fingerprint(), region, backend, extra)
 
+    @staticmethod
+    def _fingerprint_key(
+        kind: str,
+        fingerprint: str,
+        region: FrozenSet[int],
+        backend: Optional[str],
+        extra: Hashable = None,
+    ) -> Tuple[Hashable, ...]:
+        return (kind, fingerprint, region, backend, extra)
+
+    # ------------------------------------------------------------------
+    # cross-process rehydration
+    # ------------------------------------------------------------------
+    def lookup_fingerprint(
+        self,
+        kind: str,
+        fingerprint: str,
+        region: Iterable[int],
+        backend: Optional[str] = None,
+        extra: Hashable = None,
+    ) -> Any:
+        """Fetch an artefact by content fingerprint (None on a miss).
+
+        The process-dispatch workers look their rehydrated artefacts
+        up this way -- a present entry counts as a hit, an absent one
+        counts as nothing (adoption is not construction, so the miss
+        counters stay meaningful).
+        """
+        frozen = frozenset(int(s) for s in region)
+        key = self._fingerprint_key(
+            kind, fingerprint, frozen, backend, extra
+        )
+        with self._lock:
+            return self._lookup(key)
+
+    def adopt(
+        self,
+        kind: str,
+        fingerprint: str,
+        region: Iterable[int],
+        backend: Optional[str],
+        value: Any,
+        extra: Hashable = None,
+    ) -> Any:
+        """Store an externally constructed artefact under its content key.
+
+        Process-pool workers (:mod:`repro.exec.dispatch`) rebuild
+        matrices from shared memory and *adopt* them here instead of
+        constructing: keys are content fingerprints, never addresses,
+        so a hit in the worker cache is exactly as valid as one in the
+        parent's.  Adopting counts as neither a hit nor a miss (the
+        value was built elsewhere); the racing-store rule of
+        :meth:`_store` applies.
+        """
+        frozen = frozenset(int(s) for s in region)
+        key = self._fingerprint_key(
+            kind, fingerprint, frozen, backend, extra
+        )
+        with self._lock:
+            return self._store(key, value)
+
     # ------------------------------------------------------------------
     # cached constructions
     # ------------------------------------------------------------------
@@ -257,6 +318,7 @@ class PlanCache:
         window: SpatioTemporalWindow,
         start_times: Iterable[int],
         backend: Optional[str] = None,
+        context=None,
     ) -> Dict[int, np.ndarray]:
         """Section V-B backward vectors for several start times, cached.
 
@@ -287,7 +349,9 @@ class PlanCache:
                 self.stats._count("backward")
         if missing:
             matrices = self.absorbing(chain, window.region, backend)
-            computed = _run_backward(matrices, window, missing)
+            computed = _run_backward(
+                matrices, window, missing, context=context
+            )
             with self._lock:
                 for start, vector in computed.items():
                     vector.setflags(write=False)

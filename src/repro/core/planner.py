@@ -57,6 +57,18 @@ __all__ = [
 
 _EXACT_METHODS = ("qb", "ob")
 _ALL_METHODS = ("qb", "ob", "mc")
+_DISPATCH_MODES = ("serial", "thread", "process")
+
+#: CostModel fields the calibration harness fits (kernel coefficients,
+#: as opposed to the stage-decision thresholds, which stay structural).
+CALIBRATED_COEFFICIENTS = (
+    "sweep_unit",
+    "dense_sweep_unit",
+    "dot_unit",
+    "build_unit",
+    "mc_step_unit",
+    "object_overhead",
+)
 
 
 @dataclass(frozen=True)
@@ -72,7 +84,15 @@ class PlanOptions:
             group instead of the cost-based choice.
         prefilter: force the R-tree geometric pre-filter on or off.
         bfs_prune: force the exact BFS reachability filter on or off.
-        parallel: force parallel chain-group dispatch on or off.
+        parallel: force parallel chain-group dispatch on or off
+            (legacy toggle; ``True`` means thread dispatch unless
+            ``dispatch`` says otherwise).
+        dispatch: force the execution mode -- ``"serial"``,
+            ``"thread"`` (chain groups across a thread pool) or
+            ``"process"`` (chain groups *and* within-chain object
+            shards across a shared-memory process pool, see
+            :mod:`repro.exec.dispatch`).  ``None`` lets the cost
+            model choose.
         max_workers: worker-pool size cap for parallel dispatch.
         allow_approximate: let the cost model pick Monte-Carlo when it
             is the cheapest strategy (off by default: planned execution
@@ -88,6 +108,7 @@ class PlanOptions:
     prefilter: Optional[bool] = None
     bfs_prune: Optional[bool] = None
     parallel: Optional[bool] = None
+    dispatch: Optional[str] = None
     max_workers: Optional[int] = None
     allow_approximate: bool = False
     n_samples: int = 100
@@ -108,6 +129,19 @@ class PlanOptions:
             raise QueryError(
                 f"max_workers must be positive, got {self.max_workers}"
             )
+        if self.dispatch is not None:
+            if self.dispatch not in _DISPATCH_MODES:
+                raise QueryError(
+                    f"unknown dispatch {self.dispatch!r}; expected one "
+                    f"of {_DISPATCH_MODES}"
+                )
+            if self.parallel is not None and (
+                self.parallel == (self.dispatch == "serial")
+            ):
+                raise QueryError(
+                    f"dispatch={self.dispatch!r} conflicts with "
+                    f"parallel={self.parallel!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -143,6 +177,14 @@ class CostModel:
         parallel_min_objects: smallest total workload dispatched to the
             worker pool.
         max_workers_cap: upper bound on auto-sized worker pools.
+        process_min_cost: smallest estimated evaluation cost (in the
+            model's units) worth the process-pool dispatch of
+            :mod:`repro.exec.dispatch` -- below it, fork/IPC overhead
+            dominates any GIL win.
+        shard_min_objects: smallest within-chain object shard handed to
+            one process-pool worker.
+        calibrated_from: provenance note (calibration file path) when
+            the coefficients came from :meth:`from_calibration`.
     """
 
     sweep_unit: float = 1.0
@@ -156,6 +198,78 @@ class CostModel:
     bfs_min_objects: int = 4
     parallel_min_objects: int = 32
     max_workers_cap: int = 8
+    process_min_cost: float = 5e8
+    shard_min_objects: int = 128
+    calibrated_from: Optional[str] = None
+
+    @staticmethod
+    def calibration_path() -> str:
+        """Where calibrated coefficients live on this machine.
+
+        ``$REPRO_COSTMODEL_PATH`` when set, else
+        ``~/.repro/costmodel.json`` (written by ``repro-bench
+        calibrate``, see :mod:`repro.exec.calibrate`).
+        """
+        env = os.environ.get("REPRO_COSTMODEL_PATH")
+        if env:
+            return env
+        return os.path.join(
+            os.path.expanduser("~"), ".repro", "costmodel.json"
+        )
+
+    @classmethod
+    def from_calibration(
+        cls, path: Optional[str] = None, **overrides
+    ) -> "CostModel":
+        """A cost model with coefficients fitted on this hardware.
+
+        Loads the JSON written by ``repro-bench calibrate``
+        (:func:`repro.exec.calibrate.calibrate`): the kernel
+        coefficients come from the least-squares fit, the structural
+        thresholds keep their defaults unless overridden.
+
+        Args:
+            path: calibration file (default:
+                :meth:`calibration_path`).
+            **overrides: explicit field values that win over both.
+
+        Raises:
+            QueryError: when the file is missing or malformed (run
+                ``repro-bench calibrate`` first).
+        """
+        import json
+
+        path = path or cls.calibration_path()
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+            coefficients = document["coefficients"]
+            fields = {
+                name: float(coefficients[name])
+                for name in CALIBRATED_COEFFICIENTS
+            }
+            # calibrated coefficients are seconds-per-unit-load, so
+            # the process-dispatch threshold switches to the file's
+            # wall-time bound (seconds past which a pool pays off)
+            for name, value in document.get(
+                "thresholds", {}
+            ).items():
+                if name in ("process_min_cost",):
+                    fields[name] = float(value)
+        except FileNotFoundError:
+            raise QueryError(
+                f"no calibration at {path}; run `repro-bench "
+                f"calibrate` to measure this machine"
+            ) from None
+        except (
+            KeyError, TypeError, ValueError, OSError, AttributeError
+        ) as error:
+            raise QueryError(
+                f"unreadable calibration file {path}: {error}"
+            ) from None
+        fields["calibrated_from"] = path
+        fields.update(overrides)
+        return cls(**fields)
 
     def qb_cost(self, features: "GroupFeatures") -> float:
         """One shared backward pass (unless cached) + one dot/object."""
@@ -242,7 +356,9 @@ class GroupPlan:
         features: the cost-model inputs.
         costs: estimated cost per candidate method.
         survivors: objects left after the filter stages (execution).
-        elapsed_seconds: group kernel time (execution).
+        elapsed_seconds: group kernel time (execution); under process
+            dispatch, the summed worker-side shard seconds plus any
+            parent-side multi/MC kernel time.
     """
 
     chain_id: str
@@ -295,12 +411,24 @@ class QueryPlan:
         complemented: the window is the for-all complement reduction.
         use_prefilter: run the R-tree geometric filter stage.
         use_bfs: run the exact BFS reachability filter stage.
-        parallel: dispatch chain groups across a worker pool.
+        parallel: dispatch work across a worker pool (equivalent to
+            ``dispatch != "serial"``; kept for compatibility).
         max_workers: pool size when ``parallel``.
         options: the resolved :class:`PlanOptions`.
         groups: one :class:`GroupPlan` per chain group.
         stages: filled by the pipeline with per-stage candidate counts
             and timings.
+        dispatch: chosen execution mode -- ``"serial"``, ``"thread"``
+            or ``"process"`` (shared-memory process pool,
+            :mod:`repro.exec.dispatch`).
+        operator_seconds: per-operator ``(calls, seconds)`` timings
+            collected by the execution layer's hooks
+            (:class:`~repro.exec.operators.ExecutionContext`),
+            including timings merged back from worker processes.
+        cost_model: the model the planner resolved (per-query
+            override or engine default) -- the pipeline reads its
+            execution knobs (e.g. ``shard_min_objects``) from here so
+            planning and execution never disagree.
     """
 
     kind: str
@@ -314,6 +442,11 @@ class QueryPlan:
     options: PlanOptions
     groups: List[GroupPlan] = field(default_factory=list)
     stages: List[StageStats] = field(default_factory=list)
+    dispatch: str = "serial"
+    operator_seconds: Dict[str, object] = field(default_factory=dict)
+    cost_model: Optional[CostModel] = field(
+        default=None, repr=False
+    )
 
     @property
     def n_objects(self) -> int:
@@ -345,7 +478,7 @@ class QueryPlan:
             f" -> bfs={'on' if self.use_bfs else 'off'}"
             f" -> evaluate("
             + (
-                f"parallel x{self.max_workers}"
+                f"{self.dispatch} x{self.max_workers}"
                 if self.parallel
                 else "serial"
             )
@@ -375,6 +508,17 @@ class QueryPlan:
                 + (f", {stage.detail}" if stage.detail else "")
                 + ")"
             )
+        if self.operator_seconds:
+            parts = []
+            for name, stats in sorted(self.operator_seconds.items()):
+                calls = getattr(stats, "calls", None)
+                seconds = getattr(stats, "seconds", None)
+                if calls is None:  # (calls, seconds) tuple form
+                    calls, seconds = stats
+                parts.append(
+                    f"{name} x{calls} {seconds * 1e3:.3f} ms"
+                )
+            lines.append("  operators: " + " | ".join(parts))
         return "\n".join(lines)
 
 
@@ -475,8 +619,8 @@ class QueryPlanner:
             if options.bfs_prune is not None
             else total_objects >= model.bfs_min_objects
         )
-        parallel, max_workers = self._decide_parallel(
-            groups, total_objects, options, model
+        dispatch, max_workers = self._decide_dispatch(
+            groups, total_objects, options, model, kind
         )
         requested = options.method or "auto"
         return QueryPlan(
@@ -486,10 +630,12 @@ class QueryPlanner:
             complemented=complemented,
             use_prefilter=use_prefilter,
             use_bfs=use_bfs,
-            parallel=parallel,
+            parallel=dispatch != "serial",
             max_workers=max_workers,
             options=options,
             groups=groups,
+            dispatch=dispatch,
+            cost_model=model,
         )
 
     def _plan_group(
@@ -598,29 +744,82 @@ class QueryPlanner:
         fraction = len(window.region) / max(1, self.database.n_states)
         return fraction <= model.prefilter_max_region_fraction
 
-    def _decide_parallel(
+    def _decide_dispatch(
         self,
         groups: Sequence[GroupPlan],
         total_objects: int,
         options: PlanOptions,
         model: CostModel,
+        kind: str,
     ):
-        auto = (
+        """Choose serial / thread / process execution and a pool size.
+
+        Threads only help when *independent chain groups* exist (the
+        batched kernels hold the GIL for one group's products);
+        processes shard within a chain too, so they are the only mode
+        that scales a single-chain sweep -- but each shard pays
+        fork/IPC overhead, so the estimated kernel cost must clear
+        ``process_min_cost`` before auto picks them.  k-times plans
+        never auto-shard (their kernel is per-object Python).
+        """
+        cores = os.cpu_count() or 1
+
+        def workers_for(mode: str) -> int:
+            cap = options.max_workers or min(
+                model.max_workers_cap, cores
+            )
+            if mode == "thread":
+                return max(1, min(cap, len(groups)))
+            shards = max(
+                len(groups),
+                total_objects // max(1, model.shard_min_objects),
+            )
+            return max(1, min(cap, shards))
+
+        if options.dispatch is not None:
+            mode = options.dispatch
+            if mode == "serial":
+                return "serial", 1
+            return mode, workers_for(mode)
+
+        thread_auto = (
             len(groups) >= 2
             and total_objects >= model.parallel_min_objects
         )
-        parallel = (
-            options.parallel if options.parallel is not None else auto
-        )
-        if not parallel or len(groups) < 2:
-            return False, 1
-        cap = options.max_workers or min(
-            model.max_workers_cap, os.cpu_count() or 1
-        )
-        workers = min(cap, len(groups))
-        if workers <= 1 and options.parallel is None:
-            return False, 1  # a one-worker pool is pure overhead
-        return True, max(1, workers)
+        if options.parallel is True:
+            # legacy toggle: thread dispatch, needing >= 2 groups
+            if len(groups) < 2:
+                return "serial", 1
+            return "thread", workers_for("thread")
+        if options.parallel is False:
+            return "serial", 1
+
+        if kind != "ktimes" and cores >= 2:
+            estimated = sum(
+                min(group.costs.values())
+                for group in groups
+                if group.costs
+            )
+            # only OB groups shard within a chain (QB's shared
+            # backward pass runs as one task), so a lone QB group
+            # gains nothing from a pool -- don't pay fork for it
+            shardable = any(
+                group.method == "ob"
+                and group.features is not None
+                and group.features.n_single >= 2 * model.shard_min_objects
+                for group in groups
+            )
+            if (
+                estimated >= model.process_min_cost
+                and (shardable or len(groups) >= 2)
+                and workers_for("process") > 1
+            ):
+                return "process", workers_for("process")
+        if thread_auto:
+            workers = workers_for("thread")
+            if workers > 1:
+                return "thread", workers
+        return "serial", 1
 
 
 def resolve_options(

@@ -27,7 +27,7 @@ from repro.core.matrices import (
 )
 from repro.core.plan_cache import resolve_absorbing
 from repro.core.query import SpatioTemporalWindow
-from repro.linalg.ops import matvec
+from repro.exec.operators import BACKWARD_SWEEP
 
 __all__ = [
     "QueryBasedEvaluator",
@@ -88,18 +88,16 @@ class QueryBasedEvaluator:
         ``v(t_end) = (0, ..., 0, 1)`` (only TOP satisfies the query at the
         end); then ``v(t) = M(t -> t+1) . v(t+1)``, where the transition
         into a query timestamp uses ``M_plus`` and any other transition
-        uses ``M_minus``.  Multiplying a matrix by a column vector equals
-        the paper's row-vector-times-transpose formulation.
+        uses ``M_minus``.  Runs as the shared
+        :data:`~repro.exec.operators.BACKWARD_SWEEP` operator -- the
+        exact pass the batched kernels and the streaming anchor use.
         """
-        size = self.matrices.size
-        vector = np.zeros(size, dtype=float)
-        vector[self.matrices.top_index] = 1.0
-        for time in range(self.window.t_end - 1, self.start_time - 1, -1):
-            matrix = self.matrices.matrix_for_target_time(
-                time + 1, self.window.times
-            )
-            vector = np.asarray(matvec(matrix, vector), dtype=float)
-        return vector
+        vectors = BACKWARD_SWEEP(
+            (self.matrices, self.window, [self.start_time]),
+            self.chain,
+            self.window.region,
+        )
+        return vectors[self.start_time]
 
     @property
     def backward_vector(self) -> np.ndarray:

@@ -57,7 +57,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.batch import batch_exists_multi, batch_qb_exists
-from repro.core.errors import InfeasibleEvidenceError, QueryError
+from repro.core.errors import QueryError
 from repro.core.plan_cache import PlanCache
 from repro.core.planner import (
     GroupFeatures,
@@ -75,8 +75,11 @@ from repro.core.query import (
 from repro.database.objects import UncertainObject
 from repro.database.pruning import ReachabilityPruner
 from repro.database.uncertain_db import TrajectoryDatabase
-from repro.linalg.ops import matvec
-from repro.linalg.sparse import CSRMatrix
+from repro.exec.operators import (
+    LADDER_EXTEND,
+    POSTERIOR_COLLAPSE,
+    ExecutionContext,
+)
 
 try:  # scipy is the production backend; pure-python installs fall back
     import scipy.sparse as _sp
@@ -197,9 +200,12 @@ class _ChainStream:
         # independent of the tick -- the column of start time t_0 under
         # the window at any tick is rel[min(T)-1-t_0] -- so one ladder
         # rung per slid timestamp serves every start time ever tracked.
-        # Memory grows by one (n+1)-vector per slid timestamp, the
-        # same footprint one batch backward sweep materialises.
-        self.rel: List[np.ndarray] = []
+        # Kept as a gap->vector dict so rungs no live start time can
+        # reference are *evicted* after every tick: the footprint is
+        # bounded by the live gap spread, not by how long the query
+        # has been standing.
+        self.rel: Dict[int, np.ndarray] = {}
+        self._touched: set = set()  # gaps referenced this tick
         self.matvecs = 0  # sparse products spent, for EXPLAIN output
 
     # ------------------------------------------------------------------
@@ -236,13 +242,15 @@ class _ChainStream:
     def _posterior(self, obj: UncertainObject) -> Tuple[int, np.ndarray]:
         """``(t_last, P(X_t_last | all observations))`` for a multi.
 
-        Forward filtering with Lemma 1 evidence fusion: propagate the
-        pdf through the *plain* chain between observation timestamps,
-        multiply by each observation pdf, renormalise.  Because every
-        observation precedes the query window when this is used, no
-        query time interleaves the evidence and the object is exactly
-        Markov from the returned pdf -- its window probability is the
-        same backward-column dot a single-observation object pays.
+        Lemma 1 forward filtering through the shared
+        :data:`~repro.exec.operators.POSTERIOR_COLLAPSE` operator.
+        Because every observation precedes the query window when this
+        is used, no query time interleaves the evidence and the object
+        is exactly Markov from the returned pdf -- its window
+        probability is the same backward-column dot a
+        single-observation object pays.  Cached per re-sighting; a
+        backfilled sighting below the cached time invalidates the
+        cache and refilters from scratch.
         """
         observations = obj.observations
         t_last = observations.last.time
@@ -258,31 +266,16 @@ class _ChainStream:
                 cached = None
         if cached is not None and cached[0] == t_last:
             return cached[0], cached[1]
-        if cached is not None and cached[0] < t_last:
-            time, vector, _ = cached  # extend from the prior sighting
-            vector = vector.copy()
-        else:
-            time = observations.first.time
-            vector = np.asarray(
-                observations.first.distribution.vector, dtype=float
-            )
-        transpose = self.chain.transpose_matrix()
-        for observation in observations.after(time):
-            while time < observation.time:
-                vector = np.asarray(
-                    transpose @ vector, dtype=float
-                ).reshape(-1)
-                time += 1
-            vector = vector * np.asarray(
-                observation.distribution.vector, dtype=float
-            )
-            total = float(vector.sum())
-            if total <= 0.0:
-                raise InfeasibleEvidenceError(
-                    f"observation at t={time} contradicts the "
-                    f"trajectory model: posterior mass is zero"
-                )
-            vector = vector / total
+        resume = (
+            (cached[0], cached[1]) if cached is not None else None
+        )
+        t_last, vector = POSTERIOR_COLLAPSE(
+            (observations, resume),
+            self.chain,
+            self.owner.region,
+            self.owner.engine.backend,
+            context=self.owner.context,
+        )
         self.posteriors[obj.object_id] = (
             t_last, vector, len(observations)
         )
@@ -291,13 +284,24 @@ class _ChainStream:
     # ------------------------------------------------------------------
     # backward columns
     # ------------------------------------------------------------------
-    def _one_step(self, vector: np.ndarray) -> np.ndarray:
-        """``M_minus`` applied once (one ladder rung)."""
-        m_minus = self.matrices.m_minus
-        self.matvecs += 1
-        if isinstance(m_minus, CSRMatrix):
-            return np.asarray(matvec(m_minus, vector), dtype=float)
-        return np.asarray(m_minus @ vector, dtype=float)
+    def _extend(self, base_gap: int, steps: int) -> None:
+        """Fill rungs ``base_gap+1 .. base_gap+steps`` from ``base_gap``.
+
+        Runs as the shared :data:`~repro.exec.operators.LADDER_EXTEND`
+        operator; the dense fill keeps a tick's amortised cost at
+        ``stride`` sparse products per chain, exactly like the
+        unbounded ladder did.
+        """
+        rungs = LADDER_EXTEND(
+            (self.matrices.m_minus, self.rel[base_gap], steps),
+            self.chain,
+            self.owner.region,
+            self.owner.engine.backend,
+            context=self.owner.context,
+        )
+        self.matvecs += steps
+        for offset, rung in enumerate(rungs, start=1):
+            self.rel[base_gap + offset] = rung
 
     def ensure_column(
         self, start: int, window: SpatioTemporalWindow
@@ -311,22 +315,70 @@ class _ChainStream:
         tick of stride ``s`` deepens the largest live gap by ``s``,
         which costs ``s`` sparse products per chain -- independent of
         how many start times, arrivals, or re-sightings it serves.
+        A gap below every retained rung (possible only after eviction
+        dropped the shallow end) is re-derived by one shared backward
+        pass over the window -- exact either way, since every rung is
+        a pure function of its gap.
         """
+        gap = (window.t_start - 1) - start
+        self._touched.add(gap)
+        column = self.rel.get(gap)
+        if column is not None:
+            return column
         if not self.rel:
+            # first use: seed the shift-invariant anchor v(min(T)-1)
             anchor_start = window.t_start - 1
             vectors = self.owner.engine.plan_cache.backward_vectors(
                 self.chain,
                 window,
                 [anchor_start],
                 self.owner.engine.backend,
+                context=self.owner.context,
             )
-            self.rel.append(
-                np.asarray(vectors[anchor_start], dtype=float)
+            self.rel[0] = np.asarray(
+                vectors[anchor_start], dtype=float
             )
-        gap = (window.t_start - 1) - start
-        while len(self.rel) <= gap:
-            self.rel.append(self._one_step(self.rel[-1]))
-        return self.rel[gap]
+            if gap == 0:
+                return self.rel[0]
+        below = [g for g in self.rel if g < gap]
+        if below:
+            base_gap = max(below)
+            self._extend(base_gap, gap - base_gap)
+            return self.rel[gap]
+        # eviction dropped every shallower rung: one backward pass
+        # rebuilds this start's column directly
+        vectors = self.owner.engine.plan_cache.backward_vectors(
+            self.chain,
+            window,
+            [start],
+            self.owner.engine.backend,
+            context=self.owner.context,
+        )
+        column = np.asarray(vectors[start], dtype=float)
+        self.rel[gap] = column
+        return column
+
+    def evict_ladder(self) -> int:
+        """Drop rungs no live start time can reference; return count.
+
+        Called after every tick with ``self._touched`` holding exactly
+        the gaps the tick's live start times (and collapsed multi
+        posteriors) referenced.  Live gaps only ever grow as the
+        window slides, so rungs *below* the shallowest live gap are
+        dead, and rungs above the deepest are leftovers of departed
+        objects; the dense range in between is kept so per-tick
+        extension stays ``O(stride)``.
+        """
+        if not self._touched:
+            evicted = len(self.rel)
+            self.rel.clear()
+            return evicted
+        low, high = min(self._touched), max(self._touched)
+        dead = [g for g in self.rel if g < low or g > high]
+        for gap in dead:
+            del self.rel[gap]
+        self._touched = set()
+        return len(dead)
 
     # ------------------------------------------------------------------
     # evaluation
@@ -380,6 +432,7 @@ class _ChainStream:
                 start_times=[start for _, start, _ in fallback],
                 backend=self.owner.engine.backend,
                 plan_cache=self.owner.engine.plan_cache,
+                context=self.owner.context,
             )
             for (object_id, _, _), answer in zip(fallback, answers):
                 values[object_id] = float(answer)
@@ -415,6 +468,7 @@ class _ChainStream:
                     window,
                     backend=self.owner.engine.backend,
                     plan_cache=self.owner.engine.plan_cache,
+                    context=self.owner.context,
                 )
                 for object_id, answer in zip(doubled, answers):
                     values[object_id] = float(answer)
@@ -466,6 +520,11 @@ class StandingQuery:
         self.query = query
         self.stride = int(stride)
         self.ticks = 0
+        # per-tick operator timing sink (reset by every tick; the
+        # executed plan carries the tick's per-operator totals)
+        self.context = ExecutionContext(
+            engine.plan_cache, engine.backend
+        )
         self._offset = 0
         self._base = SpatioTemporalWindow(self.region, query.times)
         self._chains: Dict[str, _ChainStream] = {}
@@ -500,6 +559,9 @@ class StandingQuery:
         from repro.core.engine import QueryResult
 
         started = _time.perf_counter()
+        self.context = ExecutionContext(
+            self.engine.plan_cache, self.engine.backend
+        )
         self._sync()
         window = _shift_window(self._base, self._offset)
         matvecs_before = sum(
@@ -520,6 +582,12 @@ class StandingQuery:
             }
         evaluate_seconds = _time.perf_counter() - stage_started
 
+        # drop ladder rungs no live start time can reference -- the
+        # memory bound the eviction regression test asserts
+        rungs_evicted = sum(
+            stream.evict_ladder()
+            for stream in self._chains.values()
+        )
         previously_active = self._active
         self._active = bisect.bisect_right(
             self._thresholds, window.t_end
@@ -534,6 +602,7 @@ class StandingQuery:
             matvecs=matvecs,
             counters=counters,
             evaluate_seconds=evaluate_seconds,
+            rungs_evicted=rungs_evicted,
         )
         self._last_plan = plan
         evaluated = _shift_window(self.query.window, self._offset)
@@ -646,6 +715,7 @@ class StandingQuery:
         matvecs: int,
         counters: Dict[str, int],
         evaluate_seconds: float,
+        rungs_evicted: int = 0,
     ) -> QueryPlan:
         options = PlanOptions()
         plan = QueryPlan(
@@ -680,6 +750,9 @@ class StandingQuery:
                 for chain_id, stream in sorted(self._chains.items())
             ],
         )
+        rungs = sum(
+            len(stream.rel) for stream in self._chains.values()
+        )
         plan.stages = [
             StageStats(
                 "streaming",
@@ -687,7 +760,8 @@ class StandingQuery:
                 self._active,
                 0.0,
                 f"tick {self.ticks}, stride {self.stride}, "
-                f"{entered:+d} candidates, {matvecs} sparse products",
+                f"{entered:+d} candidates, {matvecs} sparse products, "
+                f"{rungs} rungs ({rungs_evicted} evicted)",
             ),
             StageStats(
                 "evaluate",
@@ -699,6 +773,7 @@ class StandingQuery:
                 f"multi={counters['multi']}",
             ),
         ]
+        plan.operator_seconds = self.context.timings
         return plan
 
 

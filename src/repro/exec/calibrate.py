@@ -1,0 +1,517 @@
+"""Measured cost-model calibration.
+
+The planner's :class:`~repro.core.planner.CostModel` started as
+hand-derived asymptotics of the batched scipy kernels; its argmin only
+has to *rank* strategies correctly, but ranks shift with hardware
+(cache sizes, BLAS builds, core counts), so this module makes the
+coefficients measured instead of guessed:
+
+1. :func:`measure_grid` runs each operator kernel -- matrix build, QB
+   backward sweep + dots, stacked OB forward sweep, Monte-Carlo
+   sampling -- over a small parameter grid spanning state count, chain
+   non-zeros, query horizon and object count, timing every point
+   through the same operator layer queries execute on;
+2. :func:`fit` least-squares-fits the
+   :data:`~repro.core.planner.CALIBRATED_COEFFICIENTS` to those
+   measurements (non-negative least squares on relative error, so the
+   small points count as much as the big ones);
+3. :func:`holdout_accuracy` checks the fitted argmin against the
+   *observed* fastest kernel on a held-out slice of the grid (a pick
+   within 25% of the observed best counts as correct -- near-ties are
+   genuinely interchangeable);
+4. :func:`calibrate` ties it together and persists the result as JSON
+   (default ``~/.repro/costmodel.json``) for
+   :meth:`~repro.core.planner.CostModel.from_calibration`.
+
+``repro-bench calibrate [--smoke]`` is the command-line entry point;
+it regenerates the file on new hardware and fails below 80% held-out
+accuracy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.markov import MarkovChain
+from repro.core.planner import (
+    CALIBRATED_COEFFICIENTS,
+    CostModel,
+    GroupFeatures,
+)
+from repro.core.query import SpatioTemporalWindow
+
+try:
+    import scipy.optimize as _opt
+    import scipy.sparse as _sp
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _opt = None
+    _sp = None
+
+#: Seconds-scale process-dispatch threshold written alongside the
+#: fitted (seconds-per-unit) coefficients: estimated serial kernel
+#: time past which forking the worker pool pays off.  Applied both to
+#: the persisted file and to the in-memory ``result.model`` so the
+#: two plan identically.
+PROCESS_MIN_COST_SECONDS = 0.5
+
+__all__ = [
+    "CalibrationConfig",
+    "CalibrationResult",
+    "GridPoint",
+    "Measurement",
+    "calibrate",
+    "default_grid",
+    "fit",
+    "holdout_accuracy",
+    "measure_grid",
+]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the calibration grid.
+
+    Attributes:
+        n_states: chain state count.
+        degree: transitions per state (``nnz = n_states * degree``).
+        horizon: query end time (observations sit at t=0).
+        n_objects: single-observation objects sharing the chain.
+    """
+
+    n_states: int
+    degree: int
+    horizon: int
+    n_objects: int
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed kernel run at one grid point."""
+
+    point: GridPoint
+    kernel: str  # "build" | "qb" | "ob" | "mc"
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Knobs of one calibration run.
+
+    Attributes:
+        smoke: CI scale -- a 12-point grid that runs in seconds.
+        repeats: timed repetitions per kernel (the minimum is kept).
+        mc_samples: Monte-Carlo sample count for the MC kernel rows.
+        holdout_every: every ``k``-th grid point is held out of the
+            fit and used only for the argmin accuracy check.
+        tie_tolerance: a predicted kernel within this factor of the
+            observed fastest counts as a correct pick.
+        seed: RNG seed for chain/object generation.
+    """
+
+    smoke: bool = False
+    repeats: int = 2
+    mc_samples: int = 16
+    holdout_every: int = 3
+    tie_tolerance: float = 1.25
+    seed: int = 0
+
+
+@dataclass
+class CalibrationResult:
+    """What one :func:`calibrate` run produced.
+
+    Attributes:
+        model: the fitted cost model.
+        accuracy: held-out argmin accuracy in ``[0, 1]``.
+        n_points: grid points measured.
+        n_holdout: points held out for the accuracy check.
+        measurements: every timed kernel run.
+        path: where the JSON was written (None when not persisted).
+        elapsed_seconds: wall-clock calibration time.
+    """
+
+    model: CostModel
+    accuracy: float
+    n_points: int
+    n_holdout: int
+    measurements: List[Measurement] = field(default_factory=list)
+    path: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+
+def default_grid(smoke: bool = False) -> List[GridPoint]:
+    """The measurement grid: states x nnz x horizon x object count."""
+    if smoke:
+        states = (400, 1500)
+        degrees = (4,)
+        horizons = (12, 36)
+        objects = (1, 16, 128)
+    else:
+        states = (500, 2000, 6000)
+        degrees = (3, 9)
+        horizons = (16, 64)
+        objects = (1, 8, 64, 512)
+    return [
+        GridPoint(s, d, h, o)
+        for s in states
+        for d in degrees
+        for h in horizons
+        for o in objects
+    ]
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def _ring_chain(
+    n_states: int, degree: int, rng: np.random.Generator
+) -> MarkovChain:
+    """A random walk on a ring with ``degree`` forward neighbours.
+
+    Controlled sparsity (``nnz = n_states * degree``) with full
+    reachability -- the shape the synthetic workloads use, small
+    enough to rebuild per grid point.
+    """
+    rows = np.repeat(np.arange(n_states), degree)
+    cols = (rows + np.tile(np.arange(degree), n_states)) % n_states
+    values = rng.random(rows.size) + 0.1
+    matrix = _sp.csr_matrix(
+        (values, (rows, cols)), shape=(n_states, n_states)
+    )
+    matrix = matrix.multiply(1.0 / matrix.sum(axis=1))
+    return MarkovChain(_sp.csr_matrix(matrix), validate=False)
+
+
+def _window(point: GridPoint) -> SpatioTemporalWindow:
+    region_high = max(1, point.n_states // 20)
+    time_low = max(1, point.horizon - 4)
+    return SpatioTemporalWindow.from_ranges(
+        0, region_high, time_low, point.horizon
+    )
+
+
+def _timed(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_grid(
+    config: Optional[CalibrationConfig] = None,
+    grid: Optional[Sequence[GridPoint]] = None,
+) -> List[Measurement]:
+    """Time every kernel at every grid point.
+
+    The kernels run exactly as queries run them -- through
+    :mod:`repro.core.batch` over the shared operator layer -- with
+    matrices pre-built so the build cost is its own measurement.
+    """
+    from repro.core.batch import (
+        batch_mc_exists,
+        batch_ob_exists,
+        batch_qb_exists,
+    )
+    from repro.core.distribution import StateDistribution
+    from repro.core.matrices import build_absorbing_matrices
+    from repro.core.observation import Observation, ObservationSet
+
+    config = config or CalibrationConfig()
+    grid = list(grid) if grid is not None else default_grid(config.smoke)
+    rng = np.random.default_rng(config.seed)
+    measurements: List[Measurement] = []
+    for point in grid:
+        chain = _ring_chain(point.n_states, point.degree, rng)
+        window = _window(point)
+        states = rng.integers(0, point.n_states, size=point.n_objects)
+        initials = [
+            StateDistribution.point(point.n_states, int(state))
+            for state in states
+        ]
+        build_seconds = _timed(
+            lambda: build_absorbing_matrices(chain, window.region),
+            config.repeats,
+        )
+        matrices = build_absorbing_matrices(chain, window.region)
+        qb_seconds = _timed(
+            lambda: batch_qb_exists(
+                chain, initials, window, matrices=matrices
+            ),
+            config.repeats,
+        )
+        ob_seconds = _timed(
+            lambda: batch_ob_exists(
+                chain, initials, window, matrices=matrices
+            ),
+            config.repeats,
+        )
+        measurements.append(Measurement(point, "build", build_seconds))
+        measurements.append(Measurement(point, "qb", qb_seconds))
+        measurements.append(Measurement(point, "ob", ob_seconds))
+        # Monte-Carlo rows only where sampling stays cheap: the fit
+        # needs coverage, not another quadratic sweep
+        if (
+            point.n_objects * config.mc_samples * point.horizon
+            <= 200_000
+        ):
+            observation_sets = [
+                ObservationSet.single(
+                    Observation(0, distribution)
+                )
+                for distribution in initials
+            ]
+            mc_seconds = _timed(
+                lambda: batch_mc_exists(
+                    chain,
+                    observation_sets,
+                    window,
+                    n_samples=config.mc_samples,
+                    seeds=list(range(point.n_objects)),
+                ),
+                config.repeats,
+            )
+            measurements.append(Measurement(point, "mc", mc_seconds))
+    return measurements
+
+
+# ----------------------------------------------------------------------
+# fitting
+# ----------------------------------------------------------------------
+def _features(point: GridPoint) -> GroupFeatures:
+    return GroupFeatures(
+        n_single=point.n_objects,
+        n_multi=0,
+        n_states=point.n_states + 1,
+        nnz=point.n_states * point.degree,
+        horizon=point.horizon,
+        duration=5,
+        absorbing_cached=True,  # kernels were timed with prebuilt
+    )
+
+
+def _design_row(
+    measurement: Measurement, mc_samples: int
+) -> np.ndarray:
+    """The measurement's loads per coefficient, in
+    :data:`~repro.core.planner.CALIBRATED_COEFFICIENTS` order."""
+    point = measurement.point
+    nnz = point.n_states * point.degree
+    row = np.zeros(len(CALIBRATED_COEFFICIENTS), dtype=float)
+    index = {
+        name: i for i, name in enumerate(CALIBRATED_COEFFICIENTS)
+    }
+    if measurement.kernel == "build":
+        row[index["build_unit"]] = nnz
+    elif measurement.kernel == "qb":
+        row[index["sweep_unit"]] = point.horizon * nnz
+        row[index["dot_unit"]] = point.n_objects * (point.n_states + 1)
+        row[index["object_overhead"]] = point.n_objects
+    elif measurement.kernel == "ob":
+        row[index["dense_sweep_unit"]] = (
+            point.horizon * nnz * max(1, point.n_objects)
+        )
+        row[index["object_overhead"]] = point.n_objects
+    elif measurement.kernel == "mc":
+        row[index["mc_step_unit"]] = (
+            point.n_objects * mc_samples * point.horizon
+        )
+        row[index["object_overhead"]] = point.n_objects
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown kernel {measurement.kernel!r}")
+    return row
+
+
+def fit(
+    measurements: Sequence[Measurement],
+    config: Optional[CalibrationConfig] = None,
+) -> CostModel:
+    """Non-negative least squares over the measured kernel times.
+
+    Rows are weighted by ``1 / seconds`` so the fit minimises
+    *relative* error -- the argmin only cares about ratios, and an
+    absolute fit would let the one slowest grid point dominate.
+    Coefficients are in seconds-per-unit-load, so fitted costs are
+    directly comparable wall-time estimates.
+    """
+    config = config or CalibrationConfig()
+    rows = []
+    targets = []
+    for measurement in measurements:
+        weight = 1.0 / max(measurement.seconds, 1e-5)
+        rows.append(
+            _design_row(measurement, config.mc_samples) * weight
+        )
+        targets.append(measurement.seconds * weight)
+    matrix = np.vstack(rows)
+    target = np.asarray(targets, dtype=float)
+    coefficients, _residual = _opt.nnls(matrix, target)
+    # a coefficient nnls zeroed still needs a tiny positive floor so
+    # cost estimates stay monotone in every feature
+    floor = 1e-12
+    fitted = {
+        name: max(float(value), floor)
+        for name, value in zip(CALIBRATED_COEFFICIENTS, coefficients)
+    }
+    # fitted units are seconds, so the dispatch threshold must be the
+    # seconds-scale bound too -- matching what from_calibration loads
+    return CostModel(
+        **fitted, process_min_cost=PROCESS_MIN_COST_SECONDS
+    )
+
+
+def holdout_accuracy(
+    model: CostModel,
+    holdout: Sequence[GridPoint],
+    by_point: Dict[GridPoint, Dict[str, float]],
+    tie_tolerance: float = 1.25,
+) -> float:
+    """Fraction of held-out points where the model picks the observed
+    fastest exact kernel (within ``tie_tolerance`` of the best)."""
+    if not holdout:
+        return 1.0
+    correct = 0
+    for point in holdout:
+        observed = by_point[point]
+        features = _features(point)
+        costs = {
+            "qb": model.qb_cost(features),
+            "ob": model.ob_cost(features),
+        }
+        picked = min(costs, key=costs.get)
+        best = min(observed["qb"], observed["ob"])
+        if observed[picked] <= tie_tolerance * best:
+            correct += 1
+    return correct / len(holdout)
+
+
+# ----------------------------------------------------------------------
+# persistence + entry point
+# ----------------------------------------------------------------------
+def _write_calibration(
+    path: str, model: CostModel, result_fields: Dict
+) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    document = {
+        "coefficients": {
+            name: getattr(model, name)
+            for name in CALIBRATED_COEFFICIENTS
+        },
+        # fitted coefficients are seconds-per-unit-load, so the
+        # dispatch threshold becomes a wall-time bound: estimated
+        # serial kernel time past which forking a pool pays off
+        "thresholds": {"process_min_cost": PROCESS_MIN_COST_SECONDS},
+        "meta": {
+            "created_unix": time.time(),
+            "hostname": platform.node(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            **result_fields,
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+
+
+def calibrate(
+    config: Optional[CalibrationConfig] = None,
+    path: Optional[str] = None,
+    write: bool = True,
+    min_accuracy: Optional[float] = None,
+) -> CalibrationResult:
+    """Measure, fit, validate, and (optionally) persist a cost model.
+
+    Args:
+        config: grid/repeat knobs (default: full grid).
+        path: output JSON (default:
+            :meth:`~repro.core.planner.CostModel.calibration_path`).
+        write: persist the fitted coefficients.
+        min_accuracy: when set, a fit below this held-out accuracy is
+            *not* persisted (``result.path`` stays None), so a failed
+            calibration never silently poisons later
+            ``CostModel.from_calibration()`` loads.
+
+    Returns:
+        The :class:`CalibrationResult`; ``result.model`` is what
+        ``CostModel.from_calibration()`` will reload (same
+        coefficients and same seconds-scale dispatch threshold).
+    """
+    config = config or CalibrationConfig()
+    started = time.perf_counter()
+    grid = default_grid(config.smoke)
+    holdout = [
+        point
+        for index, point in enumerate(grid)
+        if index % config.holdout_every == config.holdout_every - 1
+    ]
+    holdout_set = set(holdout)
+    measurements = measure_grid(config, grid)
+    training = [
+        m for m in measurements if m.point not in holdout_set
+    ]
+    model = fit(training, config)
+    by_point: Dict[GridPoint, Dict[str, float]] = {}
+    for measurement in measurements:
+        by_point.setdefault(measurement.point, {})[
+            measurement.kernel
+        ] = measurement.seconds
+    accuracy = holdout_accuracy(
+        model, holdout, by_point, config.tie_tolerance
+    )
+    result = CalibrationResult(
+        model=model,
+        accuracy=accuracy,
+        n_points=len(grid),
+        n_holdout=len(holdout),
+        measurements=measurements,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    if write and (min_accuracy is None or accuracy >= min_accuracy):
+        target = path or CostModel.calibration_path()
+        _write_calibration(
+            target,
+            model,
+            {
+                "holdout_accuracy": accuracy,
+                "n_points": len(grid),
+                "smoke": config.smoke,
+            },
+        )
+        result.path = target
+        result.model = CostModel(
+            **{
+                name: getattr(model, name)
+                for name in CALIBRATED_COEFFICIENTS
+            },
+            process_min_cost=PROCESS_MIN_COST_SECONDS,
+            calibrated_from=target,
+        )
+    return result
+
+
+def bench_payload(result: CalibrationResult) -> Dict:
+    """The ``BENCH_calibrate.json`` document body."""
+    return {
+        "kind": "calibration",
+        "accuracy": result.accuracy,
+        "n_points": result.n_points,
+        "n_holdout": result.n_holdout,
+        "elapsed_seconds": result.elapsed_seconds,
+        "coefficients": {
+            name: getattr(result.model, name)
+            for name in CALIBRATED_COEFFICIENTS
+        },
+        "measurements": [
+            {**asdict(m.point), "kernel": m.kernel, "seconds": m.seconds}
+            for m in result.measurements
+        ],
+    }

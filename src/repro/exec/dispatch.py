@@ -1,0 +1,712 @@
+"""Process-pool dispatch with shared-memory matrices.
+
+The batched kernels hold the GIL for the duration of every sparse
+product, so a thread pool only scales across *independent chain
+groups* -- a single-chain database is capped at one core.  This module
+lifts that cap: chain groups **and within-chain object shards** run
+across a pool of worker processes, and the large arrays they need --
+the chain CSR, the augmented absorbing matrices (plus their cached
+transposes), and the stacked initial state vectors -- are published
+*once* into :mod:`multiprocessing.shared_memory` segments.  Workers
+rebuild ``scipy.sparse`` matrices as zero-copy views over those
+segments (no pickling of matrix payloads ever happens) and adopt them
+into a worker-local :class:`~repro.core.plan_cache.PlanCache` keyed by
+the chain's *content fingerprint*, so cache hits are
+address-space-independent and repeated queries pay publication and
+rehydration once per worker, not once per task.
+
+Only small task descriptions (segment names, shapes, row ranges, the
+window) and small results (per-shard probability arrays, operator
+timings) cross the process boundary.
+
+The public surface is :func:`run_groups_in_processes`, called by
+:class:`~repro.core.pipeline.QueryPipeline` when the planner (or
+``PlanOptions.dispatch="process"``) selects process dispatch, and
+:func:`shutdown`, which drains the pool and unlinks every published
+segment (also registered via :mod:`atexit`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time as _time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as _wait_futures
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import BackendError
+
+try:  # process dispatch needs the scipy backend's CSR layout
+    import scipy.sparse as _sp
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sp = None
+
+__all__ = [
+    "process_dispatch_available",
+    "run_groups_in_processes",
+    "shutdown",
+    "publish_csr",
+    "attach_csr",
+    "SharedCSR",
+]
+
+
+def process_dispatch_available() -> bool:
+    """Whether this platform supports the shared-memory process path."""
+    return _sp is not None
+
+
+# ----------------------------------------------------------------------
+# shared-memory publication / attachment
+# ----------------------------------------------------------------------
+#: (segment name, shape, dtype string) -- everything needed to attach.
+ArrayMeta = Tuple[str, Tuple[int, ...], str]
+
+
+@dataclass(frozen=True)
+class SharedCSR:
+    """The metadata of one CSR matrix published to shared memory."""
+
+    data: ArrayMeta
+    indices: ArrayMeta
+    indptr: ArrayMeta
+    shape: Tuple[int, int]
+
+
+def _publish_array(
+    array: np.ndarray, segments: List[shared_memory.SharedMemory]
+) -> ArrayMeta:
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(
+        create=True, size=max(1, array.nbytes)
+    )
+    segments.append(segment)
+    view = np.ndarray(
+        array.shape, dtype=array.dtype, buffer=segment.buf
+    )
+    view[...] = array
+    return (segment.name, array.shape, array.dtype.str)
+
+
+def _attach_array(meta: ArrayMeta) -> np.ndarray:
+    name, shape, dtype = meta
+    segment = _attached_segment(name)
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+
+def publish_csr(
+    matrix, segments: List[shared_memory.SharedMemory]
+) -> SharedCSR:
+    """Publish one ``scipy.sparse.csr_matrix`` into shared memory.
+
+    The three CSR arrays become one segment each; ``segments``
+    collects the handles so the owner can unlink them later.
+    """
+    if _sp is None or not _sp.issparse(matrix):
+        raise BackendError(
+            "process dispatch requires the scipy backend"
+        )
+    csr = matrix.tocsr()
+    return SharedCSR(
+        data=_publish_array(csr.data, segments),
+        indices=_publish_array(csr.indices, segments),
+        indptr=_publish_array(csr.indptr, segments),
+        shape=tuple(csr.shape),
+    )
+
+
+def attach_csr(handle: SharedCSR):
+    """Rebuild a CSR matrix as zero-copy views over shared memory.
+
+    The returned matrix shares its buffers with every other process
+    attached to the same segments; consumers must treat it as
+    immutable (the plan cache's artefacts already are).
+    """
+    matrix = _sp.csr_matrix(
+        (
+            _attach_array(handle.data),
+            _attach_array(handle.indices),
+            _attach_array(handle.indptr),
+        ),
+        shape=handle.shape,
+        copy=False,
+    )
+    return matrix
+
+
+# worker-side segment registry for the *cached* artefacts (chains,
+# absorbing matrices): attach each segment once per process and keep
+# it alive while views point into it.  Per-query segments (the
+# stacked initials) must NOT go through here -- they are attached
+# transiently by _read_shard_rows and closed immediately, or every
+# query would pin pages the parent already unlinked.  The registry is
+# bounded: past the cap the oldest segments are closed, except those
+# whose pages live views still reference (closing raises BufferError
+# -- exactly the ones the worker PlanCache still serves).
+_SEGMENTS: "OrderedDict[str, shared_memory.SharedMemory]" = (
+    OrderedDict()
+)
+_SEGMENTS_CAP = 128
+_SEGMENTS_LOCK = threading.Lock()
+
+
+def _attached_segment(name: str) -> shared_memory.SharedMemory:
+    with _SEGMENTS_LOCK:
+        segment = _SEGMENTS.get(name)
+        if segment is not None:
+            _SEGMENTS.move_to_end(name)
+            return segment
+        # Attaching registers the name with the resource tracker a
+        # second time; with fork every process shares the parent's
+        # tracker, where registration is idempotent and the parent's
+        # unlink() unregisters exactly once -- so no extra
+        # bookkeeping is needed (or safe) here.
+        segment = shared_memory.SharedMemory(name=name)
+        _SEGMENTS[name] = segment
+        overflow = len(_SEGMENTS) - _SEGMENTS_CAP
+        while overflow > 0:
+            stale_name, stale = _SEGMENTS.popitem(last=False)
+            overflow -= 1
+            try:
+                stale.close()
+            except BufferError:
+                # live views (cached matrices) still use it: keep it
+                # and treat it as recently used so the next overflow
+                # pass tries genuinely stale segments first
+                _SEGMENTS[stale_name] = stale
+    return segment
+
+
+# ----------------------------------------------------------------------
+# parent-side publication cache + worker pool
+# ----------------------------------------------------------------------
+#: LRU bound on cached published artefacts (chains; absorbing matrix
+#: quadruples).  Beyond it the least recently used entry's segments
+#: are unlinked -- but only while no query is in flight, so a task's
+#: handles can never name a vanished segment.
+_PUBLISH_CACHE_SIZE = 16
+
+
+def _unlink_segments(
+    segments: List[shared_memory.SharedMemory],
+) -> None:
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+
+class _Publisher:
+    """Owns every published segment; publishes each artefact once.
+
+    Matrices are keyed by ``(fingerprint, region, backend)`` so a
+    monitoring workload re-issuing windows over the same chains
+    publishes once per artefact, not once per query.  The cache is
+    LRU-bounded (unlike an address-space cache, stale entries hold
+    real ``/dev/shm`` pages): every in-flight dispatch call *pins*
+    the entries its task handles name (a lease of keys), and
+    :meth:`release` unlinks unpinned LRU overflow -- so eviction
+    keeps up even under sustained query overlap, and a worker can
+    never be handed a name whose segment vanished.  ``close``
+    unlinks everything (also run at interpreter exit).
+    """
+
+    def __init__(self, maxsize: int = _PUBLISH_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self._chains: "OrderedDict[str, Tuple[SharedCSR, list]]" = (
+            OrderedDict()
+        )
+        self._absorbing: "OrderedDict[tuple, Tuple[tuple, list]]" = (
+            OrderedDict()
+        )
+        self._pins: Dict[tuple, int] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self) -> list:
+        """A fresh lease; every key handed out against it is pinned."""
+        return []
+
+    def _pin(self, key: tuple, lease: Optional[list]) -> None:
+        if lease is not None:
+            self._pins[key] = self._pins.get(key, 0) + 1
+            lease.append(key)
+
+    def release(self, lease: list) -> None:
+        """Unpin a lease's keys and drop unpinned LRU overflow."""
+        with self._lock:
+            for key in lease:
+                count = self._pins.get(key, 0) - 1
+                if count > 0:
+                    self._pins[key] = count
+                else:
+                    self._pins.pop(key, None)
+            lease.clear()
+            self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        """Unlink oldest unpinned entries beyond the bound (lock held)."""
+        for kind, cache in (
+            ("chain", self._chains), ("absorbing", self._absorbing)
+        ):
+            while len(cache) > self.maxsize:
+                victim = next(
+                    (
+                        key for key in cache
+                        if self._pins.get((kind, key), 0) == 0
+                    ),
+                    None,
+                )
+                if victim is None:  # everything live is in flight
+                    break
+                _handles, segments = cache.pop(victim)
+                _unlink_segments(segments)
+
+    def chain(
+        self, chain, lease: Optional[list] = None
+    ) -> Tuple[str, SharedCSR]:
+        fingerprint = chain.fingerprint()
+        with self._lock:
+            entry = self._chains.get(fingerprint)
+            if entry is None:
+                segments: list = []
+                entry = (
+                    publish_csr(chain.matrix, segments), segments
+                )
+                self._chains[fingerprint] = entry
+            self._chains.move_to_end(fingerprint)
+            self._pin(("chain", fingerprint), lease)
+        return fingerprint, entry[0]
+
+    def absorbing(
+        self, chain, matrices, backend: Optional[str],
+        lease: Optional[list] = None,
+    ) -> Tuple[SharedCSR, SharedCSR, SharedCSR, SharedCSR]:
+        """Publish ``(M_minus, M_plus, M_minus^T, M_plus^T)`` once."""
+        key = (chain.fingerprint(), matrices.region, backend)
+        with self._lock:
+            entry = self._absorbing.get(key)
+            if entry is None:
+                minus_t, plus_t = matrices.transposed()
+                segments = []
+                handles = (
+                    publish_csr(matrices.m_minus, segments),
+                    publish_csr(matrices.m_plus, segments),
+                    publish_csr(minus_t, segments),
+                    publish_csr(plus_t, segments),
+                )
+                entry = (handles, segments)
+                self._absorbing[key] = entry
+            self._absorbing.move_to_end(key)
+            self._pin(("absorbing", key), lease)
+        return entry[0]
+
+    def stack(self, csr) -> Tuple[SharedCSR, List[shared_memory.SharedMemory]]:
+        """Publish a per-query stacked-vector CSR (caller unlinks)."""
+        segments: List[shared_memory.SharedMemory] = []
+        return publish_csr(csr, segments), segments
+
+    def close(self) -> None:
+        with self._lock:
+            for cache in (self._chains, self._absorbing):
+                for _handles, segments in cache.values():
+                    _unlink_segments(segments)
+                cache.clear()
+
+
+_PUBLISHER: Optional[_Publisher] = None
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_WORKERS = 0
+_EXECUTOR_ACTIVE = 0  # dispatch calls currently using the pool
+_POOL_LOCK = threading.Lock()
+
+
+def _publisher() -> _Publisher:
+    global _PUBLISHER
+    with _POOL_LOCK:
+        if _PUBLISHER is None:
+            _PUBLISHER = _Publisher()
+        return _PUBLISHER
+
+
+def _acquire_executor(max_workers: int) -> ProcessPoolExecutor:
+    """A persistent fork-based pool, grown on demand, refcounted.
+
+    Fork keeps worker start-up at milliseconds (the parent's imports
+    are inherited); platforms without fork fall back to spawn.  The
+    pool is only replaced (to grow) while no other dispatch call is
+    in flight -- a concurrent caller keeps the existing (smaller)
+    pool rather than having its futures cancelled under it.  Pair
+    every call with :func:`_release_executor`.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ACTIVE
+    with _POOL_LOCK:
+        needs_growth = (
+            _EXECUTOR is None or _EXECUTOR_WORKERS < max_workers
+        )
+        if needs_growth and _EXECUTOR_ACTIVE == 0:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=True, cancel_futures=True)
+            try:
+                context = get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                context = get_context("spawn")
+            _EXECUTOR = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            )
+            _EXECUTOR_WORKERS = max_workers
+        _EXECUTOR_ACTIVE += 1
+        return _EXECUTOR
+
+
+def _release_executor() -> None:
+    global _EXECUTOR_ACTIVE
+    with _POOL_LOCK:
+        _EXECUTOR_ACTIVE -= 1
+
+
+def shutdown() -> None:
+    """Drain the worker pool and unlink every published segment."""
+    global _EXECUTOR, _EXECUTOR_WORKERS, _PUBLISHER
+    with _POOL_LOCK:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=True, cancel_futures=True)
+            _EXECUTOR = None
+            _EXECUTOR_WORKERS = 0
+        publisher, _PUBLISHER = _PUBLISHER, None
+    if publisher is not None:
+        publisher.close()
+
+
+atexit.register(shutdown)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ShardTask:
+    """One unit of worker work: a row range of one chain group.
+
+    Everything here is cheap to pickle; the heavy payloads travel as
+    :class:`SharedCSR` metadata.
+    """
+
+    fingerprint: str
+    chain: SharedCSR
+    m_minus: SharedCSR
+    m_plus: SharedCSR
+    m_minus_t: SharedCSR
+    m_plus_t: SharedCSR
+    initials: SharedCSR
+    row_lo: int
+    row_hi: int
+    starts: Tuple[int, ...]
+    region: Tuple[int, ...]
+    times: Tuple[int, ...]
+    method: str
+    backend: Optional[str]
+
+
+# worker-local caches, populated lazily after the fork
+_WORKER_CACHE = None
+
+
+def _worker_cache():
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        from repro.core.plan_cache import PlanCache
+
+        _WORKER_CACHE = PlanCache()
+    return _WORKER_CACHE
+
+
+def _rehydrate(task: _ShardTask):
+    """Chain + absorbing matrices from shared memory, cache-adopted.
+
+    The worker cache is keyed by the *fingerprint* shipped with the
+    task -- never by object identity -- so the first task of a chain
+    rehydrates and every later task (and every later query) hits.
+    """
+    from repro.core.markov import MarkovChain
+    from repro.core.matrices import AbsorbingMatrices
+    from repro.linalg.ops import get_backend
+
+    cache = _worker_cache()
+    region = frozenset(task.region)
+    adopted = cache.lookup_fingerprint(
+        "chain", task.fingerprint, frozenset(), task.backend
+    )
+    if adopted is None:
+        chain = MarkovChain(attach_csr(task.chain), validate=False)
+        chain._fingerprint_cache = task.fingerprint
+        adopted = cache.adopt(
+            "chain", task.fingerprint, frozenset(), task.backend, chain
+        )
+    chain = adopted
+    matrices = cache.lookup_fingerprint(
+        "absorbing", task.fingerprint, region, task.backend
+    )
+    if matrices is None:
+        rebuilt = AbsorbingMatrices(
+            n_states=chain.n_states,
+            region=region,
+            m_minus=attach_csr(task.m_minus),
+            m_plus=attach_csr(task.m_plus),
+            backend=get_backend(task.backend),
+        )
+        rebuilt._transposed = (
+            attach_csr(task.m_minus_t),
+            attach_csr(task.m_plus_t),
+        )
+        matrices = cache.adopt(
+            "absorbing", task.fingerprint, region, task.backend, rebuilt
+        )
+    return chain, matrices, cache
+
+
+def _read_shard_rows(
+    handle: SharedCSR, lo: int, hi: int
+) -> np.ndarray:
+    """Densify rows ``[lo, hi)`` of a per-query stacked CSR; release.
+
+    Unlike the cached chain/matrix segments, the initials stack is
+    published fresh per query and unlinked by the parent as soon as
+    the query finishes -- caching its segments in ``_SEGMENTS`` would
+    pin one segment's pages per query for the worker's lifetime.  So:
+    attach, copy the shard out, close.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    try:
+        arrays = []
+        for meta in (handle.data, handle.indices, handle.indptr):
+            name, shape, dtype = meta
+            segment = shared_memory.SharedMemory(name=name)
+            segments.append(segment)
+            arrays.append(
+                np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=segment.buf
+                )
+            )
+        matrix = _sp.csr_matrix(
+            tuple(arrays), shape=handle.shape, copy=False
+        )
+        dense = matrix[lo:hi].toarray()
+        del matrix, arrays  # drop the views before unmapping
+        return dense
+    finally:
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - error paths only
+                pass  # views still alive (exception mid-attach)
+
+
+def _evaluate_shard(task: _ShardTask):
+    """Run one shard through the shared operators; return its slice."""
+    from repro.core.query import SpatioTemporalWindow
+    from repro.exec.operators import (
+        FORWARD_SWEEP,
+        ExecutionContext,
+        SweepSchedule,
+    )
+
+    shard_started = _time.perf_counter()
+    chain, matrices, cache = _rehydrate(task)
+    window = SpatioTemporalWindow(
+        frozenset(task.region), frozenset(task.times)
+    )
+    context = ExecutionContext(cache, task.backend)
+    rows = _read_shard_rows(
+        task.initials, task.row_lo, task.row_hi
+    )
+    starts = task.starts[task.row_lo:task.row_hi]
+
+    if task.method == "ob":
+        activations: Dict[int, list] = {}
+        for row in range(rows.shape[0]):
+            activations.setdefault(starts[row], []).append(
+                (row, rows[row])
+            )
+        schedule = SweepSchedule(
+            n_rows=rows.shape[0],
+            first=min(starts),
+            last=window.t_end,
+            times=window.times,
+            activations=activations,
+            harvests={window.t_end: list(range(rows.shape[0]))},
+            read="top",
+            read_offset=matrices.top_index,
+        )
+        values = FORWARD_SWEEP(
+            (matrices, schedule),
+            chain,
+            window.region,
+            task.backend,
+            context=context,
+        )
+    else:  # qb: the backward pass amortises inside the worker cache
+        vectors = cache.backward_vectors(
+            chain,
+            window,
+            sorted(set(starts)),
+            task.backend,
+            context=context,
+        )
+        values = np.zeros(rows.shape[0], dtype=float)
+        for row in range(rows.shape[0]):
+            extended = matrices.extend_initial(
+                np.ascontiguousarray(rows[row], dtype=float),
+                starts[row],
+                window.times,
+            )
+            values[row] = float(extended @ vectors[starts[row]])
+    return (
+        task.row_lo,
+        task.row_hi,
+        values,
+        context.serializable_timings(),
+        _time.perf_counter() - shard_started,
+    )
+
+
+# ----------------------------------------------------------------------
+# parent-side entry point
+# ----------------------------------------------------------------------
+def run_groups_in_processes(
+    tasks: Sequence[Tuple[object, object, list, str]],
+    window,
+    *,
+    max_workers: int,
+    shard_min_objects: int,
+    backend: Optional[str] = None,
+    plan_cache=None,
+    context=None,
+) -> Tuple[Dict[str, float], List[float]]:
+    """Evaluate single-observation chain groups across worker processes.
+
+    Args:
+        tasks: ``(chain, matrices, objects, method)`` per chain group,
+            with ``matrices`` the group's absorbing matrices (resolved
+            in the parent so the publication is the same artefact the
+            serial path would use) and ``objects`` single-observation
+            :class:`~repro.database.objects.UncertainObject` lists.
+        window: the evaluated window.
+        max_workers: pool size.
+        shard_min_objects: smallest within-chain shard; object-based
+            groups are split into up to ``max_workers`` shards of at
+            least this many rows.
+        backend: linear-algebra backend name.
+        plan_cache: parent cache (only used to keep artefacts shared).
+        context: parent :class:`~repro.exec.operators.ExecutionContext`
+            receiving the merged worker timings.
+
+    Returns:
+        ``(values, group_seconds)``: per-object probabilities across
+        all groups -- identical (to the bit) to the serial kernels,
+        asserted at 1e-12 in the dispatch parity tests -- plus, per
+        input task, the summed worker-side wall seconds of its shards
+        (the per-group EXPLAIN ANALYZE timing).
+    """
+    publisher = _publisher()
+    executor = _acquire_executor(max_workers)
+    futures = []
+    stack_segments: List[shared_memory.SharedMemory] = []
+    id_slices: List[Tuple[List[str], int]] = []
+    group_seconds: List[float] = []
+    lease = publisher.acquire()
+
+    try:
+        for task_index, (chain, matrices, objects, method) in enumerate(
+            tasks
+        ):
+            group_seconds.append(0.0)
+            if not objects:
+                continue
+            fingerprint, chain_handle = publisher.chain(chain, lease)
+            minus_h, plus_h, minus_t_h, plus_t_h = publisher.absorbing(
+                chain, matrices, backend, lease
+            )
+            stacked = _sp.vstack(
+                [
+                    _sp.csr_matrix(
+                        np.asarray(
+                            obj.initial.distribution.vector,
+                            dtype=float,
+                        ).reshape(1, -1)
+                    )
+                    for obj in objects
+                ],
+                format="csr",
+            )
+            stack_handle, segments = publisher.stack(stacked)
+            stack_segments.extend(segments)
+            starts = tuple(obj.initial.time for obj in objects)
+            ids = [obj.object_id for obj in objects]
+
+            n_rows = len(objects)
+            if method == "ob":
+                n_shards = max(
+                    1,
+                    min(
+                        max_workers,
+                        n_rows // max(1, shard_min_objects) or 1,
+                    ),
+                )
+            else:
+                n_shards = 1  # qb: one backward pass serves the group
+            bounds = np.linspace(
+                0, n_rows, n_shards + 1, dtype=int
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                if lo == hi:
+                    continue
+                task = _ShardTask(
+                    fingerprint=fingerprint,
+                    chain=chain_handle,
+                    m_minus=minus_h,
+                    m_plus=plus_h,
+                    m_minus_t=minus_t_h,
+                    m_plus_t=plus_t_h,
+                    initials=stack_handle,
+                    row_lo=int(lo),
+                    row_hi=int(hi),
+                    starts=starts,
+                    region=tuple(sorted(window.region)),
+                    times=tuple(sorted(window.times)),
+                    method=method,
+                    backend=backend,
+                )
+                futures.append(
+                    executor.submit(_evaluate_shard, task)
+                )
+                id_slices.append((ids, task_index))
+
+        values: Dict[str, float] = {}
+        for future, (ids, task_index) in zip(futures, id_slices):
+            row_lo, _row_hi, shard_values, timings, elapsed = (
+                future.result()
+            )
+            for offset, probability in enumerate(shard_values):
+                values[ids[row_lo + offset]] = float(probability)
+            group_seconds[task_index] += elapsed
+            if context is not None:
+                context.merge(timings)
+        return values, group_seconds
+    finally:
+        # on an early exception, queued shards are cancelled and
+        # running ones drained *before* their segments vanish -- a
+        # worker must never observe a mid-query unlink
+        for future in futures:
+            future.cancel()
+        _wait_futures(futures)
+        _unlink_segments(stack_segments)
+        publisher.release(lease)
+        _release_executor()

@@ -1,0 +1,604 @@
+"""The operator layer: one implementation of every execution kernel.
+
+The Emrich et al. reduction turns every query mode into compositions of
+a small number of primitives -- build augmented matrices, sweep a
+stacked state forward, sweep an indicator backward, fuse evidence,
+sample paths, extend a backward ladder, filter candidates.  Before this
+module those primitives were implemented four separate times (batched
+kernels, per-object fallbacks, Monte Carlo, streaming); now each exists
+exactly once as an :class:`Operator` and every caller -- including the
+process-pool workers of :mod:`repro.exec.dispatch` -- routes through
+the same code.
+
+Operators share a uniform call shape::
+
+    operator(inputs, chain, region, backend, context=ctx, ...) -> arrays
+
+where ``inputs`` carries the operator-specific payload (matrices, a
+:class:`SweepSchedule`, a ladder base vector, ...), ``chain`` /
+``region`` / ``backend`` identify the artefact space, and ``context``
+is an optional :class:`ExecutionContext` whose timing hooks record one
+``(calls, seconds)`` entry per operator name -- the numbers
+``QueryPlan.describe()`` renders and :mod:`repro.exec.calibrate` fits
+the cost model against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.errors import InfeasibleEvidenceError, QueryError
+from repro.core.matrices import (
+    build_absorbing_matrices,
+    build_doubled_matrices,
+)
+from repro.linalg.ops import matvec
+from repro.linalg.sparse import CSRMatrix
+
+__all__ = [
+    "ExecutionContext",
+    "Operator",
+    "OperatorStats",
+    "SweepSchedule",
+    "BuildMatrices",
+    "ForwardSweep",
+    "BackwardSweep",
+    "PosteriorCollapse",
+    "MCSample",
+    "LadderExtend",
+    "Prefilter",
+    "BfsPrune",
+    "BUILD_ABSORBING",
+    "BUILD_DOUBLED",
+    "FORWARD_SWEEP",
+    "BACKWARD_SWEEP",
+    "POSTERIOR_COLLAPSE",
+    "MC_SAMPLE",
+    "LADDER_EXTEND",
+    "PREFILTER",
+    "BFS_PRUNE",
+]
+
+
+@dataclass
+class OperatorStats:
+    """Aggregated timing of one operator within one context.
+
+    Attributes:
+        calls: operator invocations recorded.
+        seconds: total wall-clock seconds across those calls.
+    """
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def add(self, seconds: float, calls: int = 1) -> None:
+        """Fold one measurement (or a merged batch) in."""
+        self.calls += calls
+        self.seconds += seconds
+
+
+class ExecutionContext:
+    """Shared state threaded through one query's operator calls.
+
+    Carries the artefact sources every operator resolves against (the
+    plan cache and the backend name) and collects the per-operator
+    timing hooks.  Worker processes build their own context and ship
+    its timings back; :meth:`merge` folds them into the parent's.
+
+    Args:
+        plan_cache: construction cache operators resolve matrices from.
+        backend: linear-algebra backend name.
+    """
+
+    def __init__(self, plan_cache=None, backend: Optional[str] = None) -> None:
+        self.plan_cache = plan_cache
+        self.backend = backend
+        self.timings: Dict[str, OperatorStats] = {}
+        # one context is shared across the thread-dispatch pool, so
+        # the counters must fold in atomically
+        self._lock = threading.Lock()
+
+    def record(self, name: str, seconds: float) -> None:
+        """Per-call timing hook: fold one operator call in."""
+        with self._lock:
+            self.timings.setdefault(name, OperatorStats()).add(seconds)
+
+    def merge(self, timings: Mapping[str, Any]) -> None:
+        """Fold another context's (possibly serialized) timings in."""
+        with self._lock:
+            for name, stats in timings.items():
+                if isinstance(stats, OperatorStats):
+                    calls, seconds = stats.calls, stats.seconds
+                else:  # (calls, seconds) pair from a worker process
+                    calls, seconds = int(stats[0]), float(stats[1])
+                self.timings.setdefault(name, OperatorStats()).add(
+                    seconds, calls
+                )
+
+    def serializable_timings(self) -> Dict[str, Tuple[int, float]]:
+        """Timings as plain tuples (for worker -> parent transport)."""
+        with self._lock:
+            return {
+                name: (stats.calls, stats.seconds)
+                for name, stats in self.timings.items()
+            }
+
+
+class Operator:
+    """Base class: uniform signature plus the per-call timing hook.
+
+    Subclasses implement :meth:`run`; ``__call__`` wraps it with the
+    wall-clock measurement recorded on the ``context`` (when given --
+    operators stay usable standalone without one).
+    """
+
+    name = "operator"
+
+    def __call__(
+        self,
+        inputs: Any,
+        chain=None,
+        region: Optional[FrozenSet[int]] = None,
+        backend: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+        **kwargs: Any,
+    ) -> Any:
+        started = _time.perf_counter()
+        try:
+            return self.run(
+                inputs, chain, region, backend, context=context, **kwargs
+            )
+        finally:
+            if context is not None:
+                context.record(
+                    self.name, _time.perf_counter() - started
+                )
+
+    def run(
+        self, inputs, chain, region, backend, context=None, **kwargs
+    ):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# BuildMatrices
+# ----------------------------------------------------------------------
+class BuildMatrices(Operator):
+    """Resolve the augmented matrices for ``(chain, region)``.
+
+    ``inputs`` may carry pre-built matrices (validated against the
+    region and passed through); otherwise the context's plan cache is
+    probed and construction runs only on a miss, so a cache hit costs
+    (and records) almost nothing.
+    """
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ("absorbing", "doubled"):
+            raise QueryError(f"unknown matrix kind {kind!r}")
+        self.kind = kind
+        self.name = f"build_{kind}"
+
+    def run(
+        self, inputs, chain, region, backend, context=None,
+        plan_cache=None, **_,
+    ):
+        prebuilt = inputs
+        if prebuilt is not None:
+            if prebuilt.region != region:
+                raise QueryError(
+                    "pre-built matrices were constructed for a "
+                    "different region"
+                )
+            return prebuilt
+        if plan_cache is None and context is not None:
+            plan_cache = context.plan_cache
+        if plan_cache is not None:
+            getter = (
+                plan_cache.absorbing
+                if self.kind == "absorbing"
+                else plan_cache.doubled
+            )
+            return getter(chain, region, backend)
+        builder = (
+            build_absorbing_matrices
+            if self.kind == "absorbing"
+            else build_doubled_matrices
+        )
+        return builder(chain, region, backend)
+
+
+# ----------------------------------------------------------------------
+# ForwardSweep
+# ----------------------------------------------------------------------
+@dataclass
+class SweepSchedule:
+    """What one stacked forward sweep activates, fuses, and reads.
+
+    The schedule is plain data (times -> row payloads), so it can be
+    built identically by the batch kernels, the per-object fallbacks,
+    and the shard workers of :mod:`repro.exec.dispatch`.
+
+    Attributes:
+        n_rows: objects stacked into the sweep.
+        first: timestamp of the earliest activation.
+        last: timestamp after which every row has been harvested.
+        times: the query timestamps ``T_q`` (selects ``M_plus``).
+        activations: per timestamp, ``(row, initial vector)`` pairs
+            entering the sweep when it reaches that timestamp.  The
+            *raw* ``n_states`` vectors are stored (usually references
+            to the objects' own distributions, no copies);
+            ``extend_initial`` runs lazily at activation time, so the
+            schedule never materialises a second stack-sized buffer.
+        fusions: per timestamp, ``(row, tiled observation pdf)`` pairs
+            applied as Lemma 1 evidence fusion (elementwise product,
+            renormalise; zero mass raises
+            :class:`~repro.core.errors.InfeasibleEvidenceError`).
+        harvests: per timestamp, rows whose result is read there.
+        read: ``"top"`` reads the TOP component, ``"tail"`` sums the
+            shadow block from ``read_offset`` (Section VI).
+        read_offset: first index of the shadow block for ``"tail"``.
+        stop_threshold: early termination (Section V-C): stop as soon
+            as every *unharvested* row's read value reaches this bound
+            (single-row threshold queries); the values read so far are
+            returned as lower bounds.
+    """
+
+    n_rows: int
+    first: int
+    last: int
+    times: FrozenSet[int]
+    activations: Dict[int, List[Tuple[int, np.ndarray]]]
+    fusions: Dict[int, List[Tuple[int, np.ndarray]]] = field(
+        default_factory=dict
+    )
+    harvests: Dict[int, List[int]] = field(default_factory=dict)
+    read: str = "top"
+    read_offset: int = 0
+    stop_threshold: Optional[float] = None
+
+
+class _ForwardStack:
+    """The stacked distributions of all objects during one sweep.
+
+    For the scipy backend the stack is kept *transposed* -- a
+    C-contiguous ``(size, n_objects)`` array -- so each transition is
+    ``M^T @ X^T`` over the matrices' cached transposes: one CSR
+    matvecs kernel call per timestep with no copies in the loop
+    (measurably faster than ``X @ M``, which scipy evaluates through
+    CSC).  The pure-Python backend falls back to row-wise
+    :func:`~repro.linalg.ops.matmat`.
+    """
+
+    def __init__(self, matrices, n_objects: int) -> None:
+        self.matrices = matrices
+        self._transposed = not isinstance(matrices.m_minus, CSRMatrix)
+        if self._transposed:
+            self.stack = np.zeros(
+                (matrices.size, n_objects), dtype=float
+            )
+        else:
+            self.stack = np.zeros(
+                (n_objects, matrices.size), dtype=float
+            )
+
+    def set_row(self, row: int, vector: np.ndarray) -> None:
+        if self._transposed:
+            self.stack[:, row] = vector
+        else:
+            self.stack[row] = vector
+
+    def row(self, row: int) -> np.ndarray:
+        return (
+            self.stack[:, row] if self._transposed else self.stack[row]
+        )
+
+    def column(self, index: int) -> np.ndarray:
+        """One entry per object (e.g. the TOP component)."""
+        return (
+            self.stack[index].copy()
+            if self._transposed
+            else self.stack[:, index].copy()
+        )
+
+    def tail_sums(self, row: int, offset: int) -> float:
+        """Sum of entries ``offset:`` of one object's vector."""
+        return float(self.row(row)[offset:].sum())
+
+    def step(self, time: int, times) -> None:
+        if self._transposed:
+            minus_t, plus_t = self.matrices.transposed()
+            matrix = plus_t if time in times else minus_t
+            self.stack = matrix @ self.stack
+        else:
+            self.stack = np.asarray(
+                self.matrices.backend.matmat(
+                    self.stack,
+                    self.matrices.matrix_for_target_time(time, times),
+                ),
+                dtype=float,
+            )
+
+
+class ForwardSweep(Operator):
+    """One stacked forward pass executing a :class:`SweepSchedule`.
+
+    This is the single implementation behind the Section V-A
+    object-based pass, the Section VI doubled-space pass (via
+    ``fusions`` + ``read="tail"``), and the per-object OB fallback
+    (a one-row schedule).  ``inputs`` is ``(matrices, schedule)``;
+    the result is one value per schedule row.
+    """
+
+    name = "forward_sweep"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        matrices, schedule = inputs
+        stack = _ForwardStack(matrices, schedule.n_rows)
+        result = np.zeros(schedule.n_rows, dtype=float)
+
+        def read_value(row: int) -> float:
+            if schedule.read == "tail":
+                return stack.tail_sums(row, schedule.read_offset)
+            return float(stack.row(row)[schedule.read_offset])
+
+        def visit(time: int) -> bool:
+            for row, initial in schedule.activations.get(time, ()):
+                stack.set_row(row, matrices.extend_initial(
+                    np.asarray(initial, dtype=float),
+                    time,
+                    schedule.times,
+                ))
+            for row, tiled in schedule.fusions.get(time, ()):
+                fused = stack.row(row) * tiled
+                total = float(fused.sum())
+                if total <= 0.0:
+                    raise InfeasibleEvidenceError(
+                        f"observation at t={time} contradicts the "
+                        f"trajectory model: posterior mass is zero"
+                    )
+                stack.set_row(row, fused / total)
+            for row in schedule.harvests.get(time, ()):
+                result[row] = read_value(row)
+            if schedule.stop_threshold is not None:
+                # Section V-C early termination: a lower bound at the
+                # threshold already answers the query
+                return all(
+                    read_value(row) >= schedule.stop_threshold
+                    for row in range(schedule.n_rows)
+                )
+            return False
+
+        if visit(schedule.first):
+            for row in range(schedule.n_rows):
+                result[row] = read_value(row)
+            return result
+        for time in range(schedule.first + 1, schedule.last + 1):
+            stack.step(time, schedule.times)
+            if visit(time):
+                for row in range(schedule.n_rows):
+                    result[row] = read_value(row)
+                return result
+        return result
+
+
+# ----------------------------------------------------------------------
+# BackwardSweep
+# ----------------------------------------------------------------------
+class BackwardSweep(Operator):
+    """Section V-B backward vectors for every requested start time.
+
+    ``inputs`` is ``(matrices, window, start_times)``.  One pass from
+    ``t_end`` down to the earliest start yields ``v(t)`` for *all*
+    intermediate ``t``; the requested ones are copied out.  Each
+    returned vector is bit-identical to the one the per-object
+    query-based evaluator computes for that start time alone.
+    """
+
+    name = "backward_sweep"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        matrices, window, start_times = inputs
+        wanted = sorted({int(t) for t in start_times})
+        if not wanted:
+            return {}
+        if wanted[0] < 0:
+            raise QueryError(
+                f"start_time must be non-negative, got {wanted[0]}"
+            )
+        if window.t_start < wanted[-1]:
+            raise QueryError(
+                f"query time {window.t_start} precedes start_time "
+                f"{wanted[-1]}"
+            )
+        vector = np.zeros(matrices.size, dtype=float)
+        vector[matrices.top_index] = 1.0
+        result: Dict[int, np.ndarray] = {}
+        if window.t_end in wanted:  # degenerate: observation at t_end
+            result[window.t_end] = vector.copy()
+        remaining = set(wanted) - set(result)
+        for time in range(window.t_end - 1, wanted[0] - 1, -1):
+            matrix = matrices.matrix_for_target_time(
+                time + 1, window.times
+            )
+            vector = np.asarray(matvec(matrix, vector), dtype=float)
+            if time in remaining:
+                result[time] = vector.copy()
+        return result
+
+
+# ----------------------------------------------------------------------
+# PosteriorCollapse
+# ----------------------------------------------------------------------
+class PosteriorCollapse(Operator):
+    """Lemma 1 forward filtering of a multi-observation object.
+
+    ``inputs`` is ``(observations, resume)`` where ``resume`` is an
+    optional ``(time, pdf)`` pair to extend from (the streaming engine
+    caches the posterior of the previous re-sighting).  Returns
+    ``(t_last, P(X_t_last | all observations))``: once every
+    observation precedes the query window, the object is exactly
+    Markov from this pdf and rides the same backward columns as a
+    single-observation object.
+    """
+
+    name = "posterior_collapse"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        observations, resume = inputs
+        t_last = observations.last.time
+        if resume is not None:
+            time, vector = resume
+            vector = np.asarray(vector, dtype=float).copy()
+        else:
+            time = observations.first.time
+            vector = np.asarray(
+                observations.first.distribution.vector, dtype=float
+            )
+        transpose = chain.transpose_matrix()
+        for observation in observations.after(time):
+            while time < observation.time:
+                vector = np.asarray(
+                    transpose @ vector, dtype=float
+                ).reshape(-1)
+                time += 1
+            vector = vector * np.asarray(
+                observation.distribution.vector, dtype=float
+            )
+            total = float(vector.sum())
+            if total <= 0.0:
+                raise InfeasibleEvidenceError(
+                    f"observation at t={time} contradicts the "
+                    f"trajectory model: posterior mass is zero"
+                )
+            vector = vector / total
+        return t_last, vector
+
+
+# ----------------------------------------------------------------------
+# MCSample
+# ----------------------------------------------------------------------
+class MCSample(Operator):
+    """Monte-Carlo PST-exists for many objects sharing a chain.
+
+    ``inputs`` is ``(observation_sets, window, n_samples, seeds)``.
+    One sampler serves every object (its per-chain CDF tables are
+    built once), reseeded per object so each estimate is independent
+    of which other objects a pruning stage removed.
+    """
+
+    name = "mc_sample"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        from repro.core.montecarlo import MonteCarloSampler
+
+        observation_sets, window, n_samples, seeds = inputs
+        sampler = MonteCarloSampler(chain)
+        result = np.zeros(len(observation_sets), dtype=float)
+        for row, observations in enumerate(observation_sets):
+            sampler.reseed(seeds[row])
+            if len(observations) > 1:
+                estimate = sampler.exists_probability_multi(
+                    observations, window, n_samples
+                )
+            else:
+                estimate = sampler.exists_probability(
+                    observations.first.distribution,
+                    window,
+                    n_samples,
+                    start_time=observations.first.time,
+                )
+            result[row] = estimate.estimate
+        return result
+
+
+# ----------------------------------------------------------------------
+# LadderExtend
+# ----------------------------------------------------------------------
+class LadderExtend(Operator):
+    """Extend a backward-vector ladder by repeated ``M_minus`` steps.
+
+    ``inputs`` is ``(m_minus, base, steps)``; returns the list of
+    ``steps`` new rungs ``[M.base, M^2.base, ...]``.  This is the
+    streaming engine's per-tick kernel: shift invariance makes every
+    slid window's backward column a pure ``M_minus`` extension of the
+    previous one.
+    """
+
+    name = "ladder_extend"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        m_minus, base, steps = inputs
+        rungs: List[np.ndarray] = []
+        vector = base
+        for _step in range(steps):
+            if isinstance(m_minus, CSRMatrix):
+                vector = np.asarray(matvec(m_minus, vector), dtype=float)
+            else:
+                vector = np.asarray(m_minus @ vector, dtype=float)
+            rungs.append(vector)
+        return rungs
+
+
+# ----------------------------------------------------------------------
+# filter-stage wrappers
+# ----------------------------------------------------------------------
+class Prefilter(Operator):
+    """R-tree geometric prefilter probe (timed wrapper).
+
+    ``inputs`` is ``(prefilter, window, min_start)``; returns the
+    ``(candidate ids, nodes visited)`` pair of
+    :meth:`~repro.database.pruning.GeometricPrefilter.probe`.
+    """
+
+    name = "prefilter"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        prefilter, window, min_start = inputs
+        return prefilter.probe(window, min_start)
+
+
+class BfsPrune(Operator):
+    """Exact Section V-C reachability filter over a candidate list.
+
+    ``inputs`` is ``(pruner, objects, window)``; returns
+    ``(kept, removed)`` object lists.  Safe by construction: a removed
+    object provably has probability zero in the window.
+    """
+
+    name = "bfs_prune"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        pruner, objects, window = inputs
+        kept, removed = [], []
+        for obj in objects:
+            (kept if pruner.can_satisfy(obj, window) else removed).append(
+                obj
+            )
+        return kept, removed
+
+
+# Shared singleton instances -- operators are stateless, so one of each
+# serves every caller (including forked workers).
+BUILD_ABSORBING = BuildMatrices("absorbing")
+BUILD_DOUBLED = BuildMatrices("doubled")
+FORWARD_SWEEP = ForwardSweep()
+BACKWARD_SWEEP = BackwardSweep()
+POSTERIOR_COLLAPSE = PosteriorCollapse()
+MC_SAMPLE = MCSample()
+LADDER_EXTEND = LadderExtend()
+PREFILTER = Prefilter()
+BFS_PRUNE = BfsPrune()

@@ -1,0 +1,192 @@
+"""Cost-model calibration: measure, fit, persist, reload.
+
+The load-bearing properties: the fit recovers strictly positive
+seconds-per-unit coefficients from measured kernel times, the fitted
+argmin matches the observed-fastest kernel on held-out grid points,
+and the persisted JSON round-trips through
+``CostModel.from_calibration`` (including the seconds-scale process
+dispatch threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.planner import (
+    CALIBRATED_COEFFICIENTS,
+    CostModel,
+    PlanOptions,
+)
+from repro.exec.calibrate import (
+    CalibrationConfig,
+    GridPoint,
+    calibrate,
+    default_grid,
+    fit,
+    holdout_accuracy,
+    measure_grid,
+)
+
+TINY_GRID = [
+    GridPoint(n_states=200, degree=3, horizon=8, n_objects=1),
+    GridPoint(n_states=200, degree=3, horizon=8, n_objects=48),
+    GridPoint(n_states=500, degree=3, horizon=12, n_objects=8),
+]
+
+CONFIG = CalibrationConfig(smoke=True, repeats=1)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return measure_grid(CONFIG, TINY_GRID)
+
+
+class TestMeasureGrid:
+    def test_covers_every_kernel(self, measurements):
+        kernels = {m.kernel for m in measurements}
+        assert {"build", "qb", "ob", "mc"} <= kernels
+        assert all(m.seconds > 0.0 for m in measurements)
+
+    def test_every_point_measured(self, measurements):
+        points = {m.point for m in measurements}
+        assert points == set(TINY_GRID)
+
+
+class TestFit:
+    def test_coefficients_positive(self, measurements):
+        model = fit(measurements, CONFIG)
+        for name in CALIBRATED_COEFFICIENTS:
+            assert getattr(model, name) > 0.0
+
+    def test_fitted_costs_are_wall_time_scale(self, measurements):
+        """Fitted cost estimates approximate the measured seconds."""
+        model = fit(measurements, CONFIG)
+        from repro.exec.calibrate import _features
+
+        for measurement in measurements:
+            if measurement.kernel != "qb":
+                continue
+            predicted = model.qb_cost(_features(measurement.point))
+            assert predicted == pytest.approx(
+                measurement.seconds, rel=5.0, abs=1e-3
+            )
+
+    def test_holdout_accuracy_range(self, measurements):
+        model = fit(measurements, CONFIG)
+        by_point = {}
+        for m in measurements:
+            by_point.setdefault(m.point, {})[m.kernel] = m.seconds
+        accuracy = holdout_accuracy(model, TINY_GRID, by_point)
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestCalibratePersistence:
+    def test_write_and_reload(self, tmp_path):
+        path = str(tmp_path / "costmodel.json")
+        result = calibrate(CONFIG, path=path)
+        assert result.path == path
+        assert result.n_points == len(default_grid(smoke=True))
+        reloaded = CostModel.from_calibration(path)
+        for name in CALIBRATED_COEFFICIENTS:
+            assert getattr(reloaded, name) == pytest.approx(
+                getattr(result.model, name)
+            )
+        assert reloaded.calibrated_from == path
+        # the dispatch threshold switches to the wall-time bound
+        assert reloaded.process_min_cost == pytest.approx(0.5)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(QueryError):
+            CostModel.from_calibration(str(tmp_path / "absent.json"))
+
+    def test_no_write_leaves_disk_alone(self, tmp_path):
+        result = calibrate(CONFIG, path=str(tmp_path / "x.json"),
+                           write=False)
+        assert result.path is None
+        assert not (tmp_path / "x.json").exists()
+
+    def test_below_gate_fit_is_not_persisted(self, tmp_path):
+        """A fit failing min_accuracy must never reach disk, where
+        from_calibration would silently load it later."""
+        path = str(tmp_path / "costmodel.json")
+        result = calibrate(CONFIG, path=path, min_accuracy=1.1)
+        assert result.path is None
+        assert not (tmp_path / "costmodel.json").exists()
+
+    def test_returned_model_matches_reloaded_model(self, tmp_path):
+        """result.model and from_calibration plan identically --
+        including the seconds-scale process dispatch threshold."""
+        path = str(tmp_path / "costmodel.json")
+        result = calibrate(CONFIG, path=path)
+        reloaded = CostModel.from_calibration(path)
+        assert result.model.process_min_cost == pytest.approx(
+            reloaded.process_min_cost
+        )
+
+    def test_malformed_thresholds_raise_query_error(self, tmp_path):
+        import json
+
+        path = tmp_path / "costmodel.json"
+        calibrate(CONFIG, path=str(path))
+        document = json.loads(path.read_text())
+        document["thresholds"]["process_min_cost"] = "fast"
+        path.write_text(json.dumps(document))
+        with pytest.raises(QueryError):
+            CostModel.from_calibration(str(path))
+
+    def test_overrides_win(self, tmp_path):
+        path = str(tmp_path / "costmodel.json")
+        calibrate(CONFIG, path=path)
+        model = CostModel.from_calibration(
+            path, max_workers_cap=3
+        )
+        assert model.max_workers_cap == 3
+
+
+class TestCalibratedPlanning:
+    def test_engine_accepts_calibrated_model(self, tmp_path):
+        from repro import (
+            PSTExistsQuery,
+            QueryEngine,
+            SpatioTemporalWindow,
+            TrajectoryDatabase,
+            UncertainObject,
+        )
+        from repro.workloads.synthetic import (
+            make_line_chain,
+            make_object_distribution,
+        )
+
+        path = str(tmp_path / "costmodel.json")
+        calibrate(CONFIG, path=path)
+        rng = np.random.default_rng(3)
+        database = TrajectoryDatabase(200)
+        database.register_chain(
+            "default", make_line_chain(200, rng=rng)
+        )
+        for index in range(20):
+            database.add(
+                UncertainObject.with_distribution(
+                    f"obj-{index}",
+                    make_object_distribution(200, 5, rng),
+                )
+            )
+        engine = QueryEngine(
+            database, cost_model=CostModel.from_calibration(path)
+        )
+        query = PSTExistsQuery(
+            SpatioTemporalWindow.from_ranges(50, 70, 6, 9)
+        )
+        calibrated = engine.evaluate(query)
+        reference = QueryEngine(database).evaluate(
+            query, options=PlanOptions(method="qb")
+        )
+        for object_id in database.object_ids:
+            assert calibrated.values[object_id] == pytest.approx(
+                reference.values[object_id], abs=1e-12
+            )
+        # the plan carries the calibrated (seconds-scale) estimates
+        group = calibrated.plan.groups[0]
+        assert 0 < min(group.costs.values()) < 10.0

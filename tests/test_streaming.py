@@ -421,3 +421,93 @@ class TestOnlineAppends:
             assert engine.pruner.can_satisfy(obj, WINDOW) == (
                 steps <= horizon
             )
+
+
+class TestLadderEviction:
+    """The backward ladder must stay memory-bounded as ticks accumulate.
+
+    Before eviction the ladder grew by ``stride`` rungs per tick for
+    the lifetime of the standing query; now rungs no live start time
+    can reference are dropped after every tick, so the footprint is
+    bounded by the live gap *spread* -- independent of tick count --
+    while per-tick cost stays ``O(stride)`` sparse products and values
+    stay bit-identical to batch re-evaluation.
+    """
+
+    @staticmethod
+    def total_rungs(standing) -> int:
+        return sum(
+            len(stream.rel) for stream in standing._chains.values()
+        )
+
+    def test_memory_bounded_over_many_ticks(self):
+        database = build_database(seed=51, n_chains=1)
+        engine = QueryEngine(database)
+        replan = QueryEngine(database)
+        standing = engine.watch(PSTExistsQuery(WINDOW), stride=1)
+
+        n_ticks = 60
+        # start times span [0, 5); gaps per tick span the same spread
+        spread = 5
+        bound = spread + standing.stride + 2
+        for tick in range(n_ticks):
+            result = standing.tick()
+            assert self.total_rungs(standing) <= bound
+            if tick % 20 == 0:  # parity spot checks stay exact
+                reference = replan.evaluate(
+                    PSTExistsQuery(shifted(WINDOW, tick))
+                )
+                assert_tick_parity(result, reference, database)
+        # without eviction the ladder would hold >= n_ticks rungs
+        assert self.total_rungs(standing) < n_ticks
+
+    def test_departures_shrink_the_ladder(self):
+        database = build_database(seed=52, n_chains=1)
+        engine = QueryEngine(database)
+        standing = engine.watch(PSTExistsQuery(WINDOW), stride=1)
+        for _ in range(10):
+            standing.tick()
+        before = self.total_rungs(standing)
+        # leave a single object: one live gap, ladder collapses
+        for object_id in list(database.object_ids)[1:]:
+            database.remove(object_id)
+        for _ in range(3):
+            standing.tick()
+        after = self.total_rungs(standing)
+        assert after <= min(before, standing.stride + 2)
+
+    def test_eviction_reports_in_explain(self):
+        database = build_database(seed=53, n_chains=1)
+        engine = QueryEngine(database)
+        standing = engine.watch(PSTExistsQuery(WINDOW), stride=2)
+        for _ in range(4):
+            standing.tick()
+        detail = standing.explain().stages[0].detail
+        assert "rungs" in detail and "evicted" in detail
+
+    def test_arrival_below_retained_range_recomputes_exactly(self):
+        """A fresh arrival whose gap precedes every retained rung is
+        answered by a direct backward pass -- same values as batch."""
+        database = build_database(seed=54, n_chains=1)
+        engine = QueryEngine(database)
+        replan = QueryEngine(database)
+        standing = engine.watch(PSTExistsQuery(WINDOW), stride=1)
+        for _ in range(12):
+            standing.tick()
+        # observe a new object *now*: its gap is far below the old
+        # objects' (whose observations are ~17 ticks stale)
+        rng = np.random.default_rng(99)
+        new_start = standing.window.t_start - 1
+        database.add(
+            UncertainObject.with_distribution(
+                "late-arrival",
+                make_object_distribution(N_STATES, 5, rng),
+                time=int(new_start),
+                chain_id="chain-0",
+            )
+        )
+        result = standing.tick()  # evaluates the offset-12 window
+        reference = replan.evaluate(
+            PSTExistsQuery(shifted(WINDOW, 12))
+        )
+        assert_tick_parity(result, reference, database)
