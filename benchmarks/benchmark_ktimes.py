@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Batched + dispatched k-times vs the per-object seed path.
+
+Until the KTimesSweep refactor, Definition 4 (PST-k-times) was the
+last query semantics served by a per-object kernel: the pipeline
+looped :func:`repro.core.ktimes.ktimes_distribution` over every
+surviving object, paying one full C(t) sweep -- ``horizon`` sparse
+products on a ``(|T_q|+1, |S|)`` block -- per object.  The refactor
+stacks all objects of a chain into one
+``(|S|, n_objects * (|T_q|+1))`` cohort driven by one sparse product
+and one cohort-wide column shift per timestep
+(:data:`~repro.exec.operators.KTIMES_SWEEP`), shardable across the
+shared-memory process pool of :mod:`repro.exec.dispatch`.
+
+This script times both on a single-chain 2,000-object workload (the
+ISSUE-5 acceptance scenario), asserts 1e-12 parity on every object's
+full count distribution, and requires the batched engine path to beat
+the per-object loop by >= 3x.  ``--smoke`` runs a seconds-scale
+configuration gating parity only (a tens-of-milliseconds workload
+measures constant overheads, not the sweep).
+
+Everything lands in ``BENCH_ktimes.json``.
+
+Run:  PYTHONPATH=src python benchmarks/benchmark_ktimes.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro import (
+    PlanOptions,
+    PSTKTimesQuery,
+    QueryEngine,
+    ktimes_distribution,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    make_synthetic_database,
+)
+
+from _bench_result import bench_name, write_result
+
+#: filters off: both paths evaluate every object, so the comparison
+#: isolates the kernel + dispatch layers the refactor changed
+ALL_OBJECTS = PlanOptions(prefilter=False, bfs_prune=False)
+
+
+def per_object_seed_path(database, query) -> dict:
+    """The pre-refactor kernel: one C(t) sweep per object."""
+    values = {}
+    for obj in database:
+        chain = database.chain(obj.chain_id)
+        values[obj.object_id] = ktimes_distribution(
+            chain,
+            obj.initial.distribution,
+            query.window,
+            start_time=obj.initial.time,
+        )
+    return values
+
+
+def run(
+    n_objects: int,
+    n_states: int,
+    repeats: int,
+    required_speedup: Optional[float],
+    smoke: bool,
+) -> int:
+    database = make_synthetic_database(
+        SyntheticConfig(
+            n_objects=n_objects, n_states=n_states, seed=17
+        )
+    )
+    engine = QueryEngine(database)
+    query = PSTKTimesQuery.from_ranges(
+        100, min(140, n_states - 1), 20, 25
+    )
+    print(
+        f"workload: {n_objects} objects, 1 chain, {n_states} states, "
+        f"window [100,{min(140, n_states - 1)}] x [20,25] "
+        f"(|T_q|+1 = {query.window.duration + 1} count rows), "
+        f"best of {repeats}"
+    )
+
+    # warm the engine (plan cache, pools) and check parity first
+    batched = engine.evaluate(query, options=ALL_OBJECTS)
+    reference = per_object_seed_path(database, query)
+    worst = 0.0
+    for object_id, expected in reference.items():
+        delta = float(np.max(np.abs(
+            np.asarray(batched.values[object_id]) - expected
+        )))
+        worst = max(worst, delta)
+    assert worst <= 1e-12, f"k-times parity broken: {worst}"
+
+    def timed(callable_) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            callable_()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    batched_seconds = timed(
+        lambda: engine.evaluate(query, options=ALL_OBJECTS)
+    )
+    per_object_seconds = timed(
+        lambda: per_object_seed_path(database, query)
+    )
+    speedup = per_object_seconds / batched_seconds
+    evaluate_stage = batched.plan.stages[-1].detail
+
+    print(f"per-object: {per_object_seconds * 1e3:9.1f} ms")
+    print(f"batched   : {batched_seconds * 1e3:9.1f} ms "
+          f"({evaluate_stage})")
+    gate = (
+        f"(required: {required_speedup:.1f}x)"
+        if required_speedup is not None
+        else "(smoke: parity only, speedup not gated)"
+    )
+    print(f"speedup   : {speedup:9.1f}x  {gate}")
+    print(f"max |delta|: {worst:.2e}")
+
+    write_result(bench_name(__file__), {
+        "kind": "standalone",
+        "smoke": smoke,
+        "config": {
+            "n_objects": n_objects,
+            "n_states": n_states,
+            "repeats": repeats,
+        },
+        "per_object_seconds": per_object_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup_batched_vs_per_object": speedup,
+        "required_speedup": required_speedup,
+        "max_abs_delta": worst,
+        "evaluate_stage": evaluate_stage,
+    })
+
+    if required_speedup is not None and speedup < required_speedup:
+        print(
+            f"FAIL: batched k-times speedup {speedup:.1f}x below "
+            f"required {required_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="batched + dispatched k-times evaluation vs the "
+                    "per-object C(t) seed path"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI configuration (parity gated, speedup "
+             "reported only)",
+    )
+    parser.add_argument("--objects", type=int, default=None)
+    parser.add_argument("--states", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run(
+            n_objects=args.objects or 300,
+            n_states=args.states or 600,
+            repeats=2,
+            required_speedup=None,
+            smoke=True,
+        )
+    return run(
+        n_objects=args.objects or 2_000,
+        n_states=args.states or 1_500,
+        repeats=3,
+        required_speedup=3.0,
+        smoke=False,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ Quickstart::
 from repro.core.batch import (
     backward_vectors,
     batch_exists_multi,
+    batch_ktimes_distribution,
     batch_mc_exists,
     batch_ob_exists,
     batch_qb_exists,
@@ -181,6 +182,7 @@ __all__ = [
     "batch_qb_exists",
     "batch_exists_multi",
     "batch_mc_exists",
+    "batch_ktimes_distribution",
     "backward_vectors",
     "PlanCache",
     "PlanCacheStats",

@@ -104,6 +104,7 @@ def _write_bench_result(name: str, payload: dict) -> Path:
 
 def _run_calibrate(args) -> int:
     """``repro-bench calibrate``: fit the cost model to this machine."""
+    from repro.core.planner import CALIBRATED_COEFFICIENTS
     from repro.exec.calibrate import (
         CalibrationConfig,
         bench_payload,
@@ -128,10 +129,7 @@ def _run_calibrate(args) -> int:
         f"({result.elapsed_seconds:.1f} s); coefficients -> "
         f"{destination}"
     )
-    for name in (
-        "sweep_unit", "dense_sweep_unit", "dot_unit",
-        "build_unit", "mc_step_unit", "object_overhead",
-    ):
+    for name in CALIBRATED_COEFFICIENTS:
         print(f"  {name:<18} = {getattr(result.model, name):.3e}")
     print(
         f"held-out argmin accuracy: {result.accuracy:.0%} on "

@@ -55,8 +55,10 @@ from repro.exec.operators import (
     BUILD_ABSORBING,
     BUILD_DOUBLED,
     FORWARD_SWEEP,
+    KTIMES_SWEEP,
     MC_SAMPLE,
     ExecutionContext,
+    KTimesSchedule,
     SweepSchedule,
 )
 
@@ -66,6 +68,7 @@ __all__ = [
     "batch_qb_exists",
     "batch_exists_multi",
     "batch_mc_exists",
+    "batch_ktimes_distribution",
 ]
 
 StartTimes = Union[int, Sequence[int]]
@@ -337,6 +340,124 @@ def batch_exists_multi(
         (matrices, schedule), chain, window.region, backend,
         context=context,
     )
+
+
+def batch_ktimes_distribution(
+    chain: MarkovChain,
+    initials: Sequence[StateDistribution],
+    window: SpatioTemporalWindow,
+    start_times: StartTimes = 0,
+    backend: Optional[str] = None,
+    plan_cache=None,
+    context: Optional[ExecutionContext] = None,
+) -> np.ndarray:
+    """Section VII visit-count distributions for many objects at once.
+
+    Two batched forms of the C(t) algorithm, picked per object:
+
+    * observations *strictly before* the window ride the suffix-count
+      decomposition (:data:`~repro.exec.operators.KTIMES_CORE`): one
+      shared backward recursion from ``t_end`` down to the earliest
+      start yields a ``(|S|, |T_q|+1)`` block ``D(start)`` per start
+      time, and a whole start group answers with a single dense GEMM
+      ``X @ D(start)`` -- the k-times analogue of
+      :func:`batch_qb_exists`, amortising one pass over arbitrarily
+      many objects.  With a ``plan_cache`` the blocks themselves are
+      reused across queries.
+    * observations *at* the window start (footnote 3: the observation
+      time is itself a query time) run the stacked
+      :data:`~repro.exec.operators.KTIMES_SWEEP` cohort: one sparse
+      product plus one cohort-wide column shift per timestep, the
+      batched analogue of :func:`batch_ob_exists`.
+
+    Per object the result is identical (to 1e-12) to
+    :func:`repro.core.ktimes.ktimes_distribution`.
+
+    Args:
+        chain: the Markov model shared by the objects.
+        initials: one observation distribution per object.
+        window: the query window ``S_q x T_q``.
+        start_times: one observation timestamp per object (or a single
+            shared one); each must be ``<= min(T_q)``.
+        backend: linear-algebra backend name (cache keys and timing
+            attribution; the kernels always run on the chain's CSR).
+        plan_cache: optional :class:`~repro.core.plan_cache.PlanCache`
+            supplying (and retaining) the suffix-count blocks.
+        context: optional operator-timing context.
+
+    Returns:
+        ``(n_objects, |T_q| + 1)`` array; row ``i`` is object ``i``'s
+        distribution over exact visit counts (each row sums to one).
+    """
+    n_objects = len(initials)
+    window.validate_for(chain.n_states)
+    n_rows = window.duration + 1
+    if n_objects == 0:
+        return np.zeros((0, n_rows), dtype=float)
+    _check_initials(chain, initials)
+    starts = _normalize_starts(start_times, n_objects)
+    _check_starts(window, starts)
+    result = np.zeros((n_objects, n_rows), dtype=float)
+
+    before = [
+        row for row in range(n_objects)
+        if starts[row] < window.t_start
+    ]
+    at_start = [
+        row for row in range(n_objects)
+        if starts[row] == window.t_start
+    ]
+    if before:
+        if plan_cache is not None:
+            blocks = plan_cache.ktimes_blocks(
+                chain,
+                window,
+                [starts[row] for row in before],
+                backend,
+                context=context,
+            )
+        else:
+            from repro.exec.operators import KTIMES_CORE
+
+            blocks = KTIMES_CORE(
+                (window, [starts[row] for row in before]),
+                chain,
+                window.region,
+                backend,
+                context=context,
+            )
+        for start, rows in _rows_by_start(
+            [starts[row] for row in before]
+        ).items():
+            group = [before[row] for row in rows]
+            stack = np.stack([
+                np.asarray(initials[row].vector, dtype=float)
+                for row in group
+            ])
+            result[group] = stack @ blocks[start]
+    if at_start:
+        region_columns = np.fromiter(
+            window.region, dtype=int, count=len(window.region)
+        )
+        region_columns.sort()
+        activations: Dict[int, List] = {}
+        for index, row in enumerate(at_start):
+            activations.setdefault(starts[row], []).append(
+                (index, initials[row].vector)
+            )
+        schedule = KTimesSchedule(
+            n_objects=len(at_start),
+            n_rows=n_rows,
+            first=window.t_start,
+            last=window.t_end,
+            times=window.times,
+            region_columns=region_columns,
+            activations=activations,
+        )
+        result[at_start] = KTIMES_SWEEP(
+            schedule, chain, window.region, backend, context=context
+        )
+    return result
 
 
 def batch_mc_exists(

@@ -16,6 +16,18 @@ paper proposes two object-based evaluations:
 Both are implemented here; the test suite checks them against each other,
 against the brute-force enumerator, and against the paper's worked example
 ``(0.136, 0.672, 0.192)``.
+
+These per-object forms are the *reference* implementations.  Database
+execution runs the stacked cohort form instead --
+:func:`repro.core.batch.batch_ktimes_distribution` over the shared
+:data:`~repro.exec.operators.KTIMES_SWEEP` operator (one sparse product
+and one cohort-wide column shift per timestep for all objects of a
+chain, shardable across the process pool of
+:mod:`repro.exec.dispatch`) -- and standing sliding-window queries use
+the incremental C-block ladder of :mod:`repro.core.streaming` built on
+the shift-invariant :data:`~repro.exec.operators.KTIMES_CORE` backward
+core.  All of them agree with the functions here to 1e-12 (asserted in
+the cross-tier parity suite).
 """
 
 from __future__ import annotations

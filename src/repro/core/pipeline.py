@@ -43,12 +43,12 @@ import numpy as np
 
 from repro.core.batch import (
     batch_exists_multi,
+    batch_ktimes_distribution,
     batch_mc_exists,
     batch_ob_exists,
     batch_qb_exists,
 )
 from repro.core.errors import QueryError
-from repro.core.ktimes import ktimes_distribution
 from repro.core.planner import CostModel, GroupPlan, QueryPlan, StageStats
 from repro.core.query import PSTKTimesQuery
 from repro.database.objects import UncertainObject
@@ -265,7 +265,7 @@ class QueryPipeline:
         pool_tasks: Optional[int] = None
         if mode == "process":
             pool_tasks = self._evaluate_processes(
-                plan, survivors, values, context, seed_index
+                plan, survivors, values, query, context, seed_index
             )
             if pool_tasks is None:  # unavailable: degrade gracefully
                 mode = "thread" if len(plan.groups) > 1 else "serial"
@@ -280,7 +280,7 @@ class QueryPipeline:
                     if plan.kind == "ktimes":
                         out = self._ktimes_kernel(
                             chain, group, objects, plan, query,
-                            seed_index,
+                            seed_index, context,
                         )
                     else:
                         out = self._exists_kernel(
@@ -346,14 +346,16 @@ class QueryPipeline:
         plan: QueryPlan,
         survivors: Dict[str, List[UncertainObject]],
         values: Dict[str, ResultValue],
+        query,
         context: ExecutionContext,
         seed_index: Optional[Dict[str, int]],
     ) -> Optional[int]:
         """Process-pool evaluation; None when unavailable here, else
         the number of group tasks actually shipped to the pool.
 
-        Single-observation qb/ob objects ship to the shared-memory
-        workers (within-chain shards for OB); multi-observation and
+        Single-observation qb/ob objects and whole k-times chain
+        groups ship to the shared-memory workers (within-chain shards
+        for the stacked OB and CT sweeps); multi-observation and
         Monte-Carlo objects -- a small minority whose payloads are not
         shared-memory friendly -- run in the parent with the exact
         same kernels, so parity is unconditional.  Each group's
@@ -362,8 +364,6 @@ class QueryPipeline:
         """
         from repro.exec import dispatch as _dispatch
 
-        if plan.kind == "ktimes":
-            return None
         if not _dispatch.process_dispatch_available():
             return None
         if self.backend not in (None, "scipy"):
@@ -385,6 +385,12 @@ class QueryPipeline:
             chain = self.database.chain(group.chain_id)
             if group.method == "mc":
                 parent_only.append(group)
+                continue
+            if plan.kind == "ktimes":
+                # the stacked CT sweep needs only the chain CSR (the
+                # count dimension lives in the stack, not a matrix)
+                tasks.append((chain, None, objects, "ct"))
+                task_groups.append(group)
                 continue
             singles = [
                 obj for obj in objects
@@ -420,11 +426,20 @@ class QueryPipeline:
             chain = self.database.chain(group.chain_id)
             objects = survivors[group.chain_id]
             started = _time.perf_counter()
-            values.update(
-                self._exists_kernel(
-                    chain, group, objects, plan, seed_index, context
+            if plan.kind == "ktimes":
+                values.update(
+                    self._ktimes_kernel(
+                        chain, group, objects, plan, query,
+                        seed_index, context,
+                    )
                 )
-            )
+            else:
+                values.update(
+                    self._exists_kernel(
+                        chain, group, objects, plan, seed_index,
+                        context,
+                    )
+                )
             elapsed[group.chain_id] += _time.perf_counter() - started
         if tasks:
             shard_values, group_seconds = (
@@ -438,6 +453,11 @@ class QueryPipeline:
                     context=context,
                 )
             )
+            if plan.kind == "ktimes":
+                shard_values = {
+                    object_id: self._ktimes_value(distribution, query)
+                    for object_id, distribution in shard_values.items()
+                }
             values.update(shard_values)
             for group, seconds in zip(task_groups, group_seconds):
                 elapsed[group.chain_id] += seconds
@@ -513,16 +533,15 @@ class QueryPipeline:
         plan: QueryPlan,
         query: PSTKTimesQuery,
         seed_index: Optional[Dict[str, int]],
+        context: Optional[ExecutionContext] = None,
     ) -> Dict[str, ResultValue]:
         out: Dict[str, ResultValue] = {}
-        sampler = None
         if group.method == "mc":
             from repro.core.montecarlo import MonteCarloSampler
 
             sampler = MonteCarloSampler(chain)
-        seeds = self._seeds(objects, plan, seed_index)
-        for obj, seed in zip(objects, seeds):
-            if sampler is not None:
+            seeds = self._seeds(objects, plan, seed_index)
+            for obj, seed in zip(objects, seeds):
                 sampler.reseed(seed)
                 distribution = sampler.ktimes_distribution(
                     obj.initial.distribution,
@@ -530,18 +549,35 @@ class QueryPipeline:
                     plan.options.n_samples,
                     start_time=obj.initial.time,
                 )
-            else:
-                distribution = ktimes_distribution(
-                    chain,
-                    obj.initial.distribution,
-                    plan.window,
-                    start_time=obj.initial.time,
+                out[obj.object_id] = self._ktimes_value(
+                    distribution, query
                 )
-            if query.k is None:
-                out[obj.object_id] = distribution
-            else:
-                out[obj.object_id] = float(distribution[query.k])
+            return out
+        # exact path: one shared suffix-count pass answers every
+        # pre-window object, the stacked cohort sweep the rest
+        distributions = batch_ktimes_distribution(
+            chain,
+            [obj.initial.distribution for obj in objects],
+            plan.window,
+            start_times=[obj.initial.time for obj in objects],
+            backend=self.backend,
+            plan_cache=self.plan_cache,
+            context=context,
+        )
+        for obj, distribution in zip(objects, distributions):
+            out[obj.object_id] = self._ktimes_value(
+                distribution, query
+            )
         return out
+
+    @staticmethod
+    def _ktimes_value(
+        distribution: np.ndarray, query: PSTKTimesQuery
+    ) -> ResultValue:
+        if query.k is None:
+            # copy: the row must outlive the batch result it views
+            return np.array(distribution, dtype=float)
+        return float(distribution[query.k])
 
     # ------------------------------------------------------------------
     # helpers

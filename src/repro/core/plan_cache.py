@@ -361,3 +361,57 @@ class PlanCache:
                     )
                     result[start] = self._store(key, vector)
         return result
+
+    def ktimes_blocks(
+        self,
+        chain: MarkovChain,
+        window: SpatioTemporalWindow,
+        start_times: Iterable[int],
+        backend: Optional[str] = None,
+        context=None,
+    ) -> Dict[int, np.ndarray]:
+        """Section VII suffix-count blocks for several start times, cached.
+
+        The k-times analogue of :meth:`backward_vectors`:
+        ``D(start)[s, k]`` answers any object observed at ``start``
+        with pdf ``pi`` as ``pi . D(start)``.  Missing starts are
+        filled by *one* shared :data:`~repro.exec.operators.KTIMES_CORE`
+        recursion from ``t_end`` down to the earliest missing start,
+        so asking for ``k`` start times costs at most one pass.
+        """
+        from repro.exec.operators import KTIMES_CORE
+
+        wanted = sorted({int(t) for t in start_times})
+        result: Dict[int, np.ndarray] = {}
+        missing = []
+        with self._lock:
+            for start in wanted:
+                key = self._key(
+                    "ktimes_core", chain, window.region, backend,
+                    (window.times, start),
+                )
+                cached = self._lookup(key)
+                if cached is not None:
+                    result[start] = cached
+                else:
+                    missing.append(start)
+            if missing:
+                self.stats.misses += len(missing)
+                self.stats._count("ktimes_core")
+        if missing:
+            computed = KTIMES_CORE(
+                (window, missing),
+                chain,
+                window.region,
+                backend,
+                context=context,
+            )
+            with self._lock:
+                for start, block in computed.items():
+                    block.setflags(write=False)
+                    key = self._key(
+                        "ktimes_core", chain, window.region, backend,
+                        (window.times, start),
+                    )
+                    result[start] = self._store(key, block)
+        return result

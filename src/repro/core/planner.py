@@ -67,6 +67,7 @@ CALIBRATED_COEFFICIENTS = (
     "dot_unit",
     "build_unit",
     "mc_step_unit",
+    "ktimes_unit",
     "object_overhead",
 )
 
@@ -102,6 +103,14 @@ class PlanOptions:
             stream derived from this, so estimates do not depend on
             which other objects were pruned.
         cost_model: override the engine's cost model for this query.
+        auto_stream: let :meth:`~repro.core.engine.QueryEngine.evaluate`
+            detect a re-issued window whose times slid by the same
+            constant stride on two consecutive re-issues and
+            transparently delegate to a standing query
+            (:meth:`~repro.core.engine.QueryEngine.watch` /
+            :meth:`~repro.core.streaming.StandingQuery.tick`); the
+            delegated plan is flagged ``auto_streamed`` in
+            ``explain()`` output.
     """
 
     method: Optional[str] = None
@@ -114,6 +123,7 @@ class PlanOptions:
     n_samples: int = 100
     seed: Optional[int] = None
     cost_model: Optional["CostModel"] = None
+    auto_stream: bool = False
 
     def __post_init__(self) -> None:
         if self.method is not None and self.method not in _ALL_METHODS:
@@ -165,6 +175,12 @@ class CostModel:
             matrices (skipped on a plan-cache hit).
         mc_step_unit: cost per sample per timestep per object of the
             Monte-Carlo sampler.
+        ktimes_unit: cost per chain non-zero per timestep per count
+            column of the shared Section VII suffix-count recursion
+            (:data:`~repro.exec.operators.KTIMES_CORE`); the pass is
+            amortised over every object of the group, each of which
+            then pays one dense ``(|S| x (|T_q|+1))`` dot priced by
+            ``dot_unit``.
         object_overhead: fixed per-object bookkeeping cost (vector
             staging, Python dispatch).
         prefilter_min_objects: smallest database slice worth probing
@@ -192,6 +208,7 @@ class CostModel:
     dot_unit: float = 1.0
     build_unit: float = 4.0
     mc_step_unit: float = 8.0
+    ktimes_unit: float = 1.0
     object_overhead: float = 200.0
     prefilter_min_objects: int = 8
     prefilter_max_region_fraction: float = 0.5
@@ -244,10 +261,21 @@ class CostModel:
             with open(path) as handle:
                 document = json.load(handle)
             coefficients = document["coefficients"]
+            # a coefficient a pre-existing calibration file does not
+            # carry (e.g. ktimes_unit before its kernel was measured)
+            # must not keep its structural default: fitted values are
+            # seconds-per-unit-load, and mixing scales would inflate
+            # that kernel's estimates by orders of magnitude.  Borrow
+            # the fitted sparse-sweep scale instead -- same kind of
+            # per-nnz-per-timestep load, so the argmin and the
+            # process-dispatch threshold stay in one unit system.
             fields = {
                 name: float(coefficients[name])
                 for name in CALIBRATED_COEFFICIENTS
+                if name in coefficients
             }
+            if "ktimes_unit" not in fields and "sweep_unit" in fields:
+                fields["ktimes_unit"] = fields["sweep_unit"]
             # calibrated coefficients are seconds-per-unit-load, so
             # the process-dispatch threshold switches to the file's
             # wall-time bound (seconds past which a pool pays off)
@@ -302,6 +330,18 @@ class CostModel:
             n_samples * max(1, features.horizon) * self.mc_step_unit
             + self.object_overhead
         )
+
+    def ktimes_cost(self, features: "GroupFeatures") -> float:
+        """One shared suffix-count pass + one count-block dot/object."""
+        rows = features.duration + 1
+        core = (
+            features.horizon * features.nnz * self.ktimes_unit * rows
+        )
+        answers = features.n_single * (
+            features.n_states * rows * self.dot_unit
+            + self.object_overhead
+        )
+        return core + answers
 
     def multi_cost(self, features: "GroupFeatures") -> float:
         """Section VI doubled-space sweep (informational: no choice)."""
@@ -403,8 +443,15 @@ class QueryPlan:
     """A planned (and, after execution, measured) query evaluation.
 
     Attributes:
-        kind: ``"exists"`` or ``"ktimes"`` (for-all queries plan the
-            complement exists-evaluation, flagged by ``complemented``).
+        kind: the *executed* evaluation kind -- ``"exists"`` or
+            ``"ktimes"`` (for-all queries plan the complement
+            exists-evaluation, flagged by ``complemented``).
+        semantics: the *originating* query semantics -- ``"exists"``,
+            ``"forall"`` or ``"ktimes"``.  A for-all query executes as
+            its complement exists-evaluation, so ``kind`` alone would
+            misattribute what the user asked for in ``explain()``
+            output and ``operator_seconds`` roll-ups; this field
+            carries the truth (defaults to ``kind`` when unset).
         window: the window the pipeline actually evaluates.
         requested_method: what the caller asked for (``"auto"`` or a
             forced method).
@@ -429,6 +476,9 @@ class QueryPlan:
             override or engine default) -- the pipeline reads its
             execution knobs (e.g. ``shard_min_objects``) from here so
             planning and execution never disagree.
+        auto_streamed: this plan was executed by a standing query a
+            :attr:`PlanOptions.auto_stream` evaluation transparently
+            delegated to.
     """
 
     kind: str
@@ -447,6 +497,12 @@ class QueryPlan:
     cost_model: Optional[CostModel] = field(
         default=None, repr=False
     )
+    semantics: Optional[str] = None
+    auto_streamed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.semantics is None:
+            self.semantics = self.kind
 
     @property
     def n_objects(self) -> int:
@@ -470,7 +526,13 @@ class QueryPlan:
         region = self.window.region
         lines = [
             f"QueryPlan(kind={self.kind}"
+            + (
+                f", semantics={self.semantics}"
+                if self.semantics not in (None, self.kind)
+                else ""
+            )
             + (", complemented" if self.complemented else "")
+            + (", auto-streamed" if self.auto_streamed else "")
             + f", method={self.requested_method}, "
             f"region |S_q|={len(region)}, "
             f"T_q=[{self.window.t_start},{self.window.t_end}])",
@@ -574,6 +636,7 @@ class QueryPlanner:
                 kind="exists",
                 complemented=True,
                 options=options,
+                semantics="forall",
             )
         if isinstance(query, PSTKTimesQuery):
             return self.plan_window(
@@ -591,6 +654,7 @@ class QueryPlanner:
         kind: str = "exists",
         complemented: bool = False,
         options: Optional[PlanOptions] = None,
+        semantics: Optional[str] = None,
     ) -> QueryPlan:
         """Plan an evaluation over an explicit window.
 
@@ -636,6 +700,7 @@ class QueryPlanner:
             groups=groups,
             dispatch=dispatch,
             cost_model=model,
+            semantics=semantics or kind,
         )
 
     def _plan_group(
@@ -672,8 +737,12 @@ class QueryPlanner:
         )
         costs: Dict[str, float] = {}
         if kind == "ktimes":
-            # the exact C(t) algorithm serves both QB and OB; only a
-            # forced "mc" changes the kernel
+            # the exact stacked C(t) sweep serves both QB and OB; only
+            # a forced "mc" changes the kernel.  The ct estimate still
+            # matters: it is what the dispatch decision prices.
+            costs = {"ct": model.ktimes_cost(features)}
+            if options.method == "mc" or options.allow_approximate:
+                costs["mc"] = model.mc_cost(features, options.n_samples)
             method = options.method or "ct"
         else:
             costs = {
@@ -759,8 +828,9 @@ class QueryPlanner:
         processes shard within a chain too, so they are the only mode
         that scales a single-chain sweep -- but each shard pays
         fork/IPC overhead, so the estimated kernel cost must clear
-        ``process_min_cost`` before auto picks them.  k-times plans
-        never auto-shard (their kernel is per-object Python).
+        ``process_min_cost`` before auto picks them.  Both the stacked
+        exists sweeps (OB) and the stacked k-times sweep (CT) shard
+        within a chain; QB's shared backward pass runs as one task.
         """
         cores = os.cpu_count() or 1
 
@@ -794,17 +864,18 @@ class QueryPlanner:
         if options.parallel is False:
             return "serial", 1
 
-        if kind != "ktimes" and cores >= 2:
+        if cores >= 2:
             estimated = sum(
                 min(group.costs.values())
                 for group in groups
                 if group.costs
             )
-            # only OB groups shard within a chain (QB's shared
-            # backward pass runs as one task), so a lone QB group
-            # gains nothing from a pool -- don't pay fork for it
+            # only stacked-sweep groups (OB exists, CT k-times) shard
+            # within a chain (QB's shared backward pass runs as one
+            # task), so a lone QB group gains nothing from a pool --
+            # don't pay fork for it
             shardable = any(
-                group.method == "ob"
+                group.method in ("ob", "ct")
                 and group.features is not None
                 and group.features.n_single >= 2 * model.shard_min_objects
                 for group in groups

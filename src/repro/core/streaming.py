@@ -43,20 +43,39 @@ the incremental values are bit-identical to re-evaluation from scratch
   delta (objects whose BFS reachability threshold the sliding horizon
   crossed this tick).
 
-Exists and for-all queries are supported (for-all through the Section
-VII complement identity); k-times queries have no incremental backward
-form and must use :meth:`~repro.core.engine.QueryEngine.evaluate`.
+Exists, for-all *and k-times* queries are supported (for-all through
+the Section VII complement identity).  K-times windows use the
+*suffix-count decomposition*: the backward block
+``D(t)[s, k] = P(exactly k visits at query times > t | X_t = s)``
+satisfies ``D(t) = M . E(t+1)`` (``E`` shifting region rows' counts up
+at query times), is shift-invariant exactly like the exists backward
+vector, and below the window extends by plain ``M`` products -- so the
+ladder caches per-gap *C-blocks* ``rel[d] = M^d . W`` (``W`` the
+:data:`~repro.exec.operators.KTIMES_CORE` window core, computed once
+per standing query) and a tick costs ``stride`` sparse products per
+chain, each carrying the ``|T_q|+1`` count columns, rather than a full
+re-sweep.  Dead C-blocks are evicted per tick exactly like the exists
+rungs, so memory stays bounded by the live gap spread.  Objects whose
+observation lands at or inside the window fall back to the exact
+batched :func:`~repro.core.batch.batch_ktimes_distribution` kernel
+until the window slides past them; multi-observation objects are
+rejected, matching the batch pipeline's Definition 4 semantics.
 """
 
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import time as _time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.batch import batch_exists_multi, batch_qb_exists
+from repro.core.batch import (
+    batch_exists_multi,
+    batch_ktimes_distribution,
+    batch_qb_exists,
+)
 from repro.core.errors import QueryError
 from repro.core.plan_cache import PlanCache
 from repro.core.planner import (
@@ -69,6 +88,7 @@ from repro.core.planner import (
 from repro.core.query import (
     PSTExistsQuery,
     PSTForAllQuery,
+    PSTKTimesQuery,
     PSTQuery,
     SpatioTemporalWindow,
 )
@@ -144,7 +164,12 @@ class _StartGroup:
         return True
 
     def answers(self, column: np.ndarray) -> np.ndarray:
-        """``P_exists`` per object: the stacked pdfs times the column."""
+        """Per-object answers: the stacked pdfs times the column.
+
+        ``column`` is the exists backward vector (``(n,)`` -> one
+        ``P_exists`` per object) or a k-times C-block
+        (``(n, |T_q|+1)`` -> one count distribution per object).
+        """
         if self._stacked is None:
             if _sp is not None:
                 counts = [s.size for s in self._supports]
@@ -158,9 +183,8 @@ class _StartGroup:
                 )
             else:
                 self._stacked = np.vstack(self.initials)
-        return np.asarray(
-            self._stacked @ column, dtype=float
-        ).reshape(-1)
+        result = np.asarray(self._stacked @ column, dtype=float)
+        return result.reshape(-1) if column.ndim == 1 else result
 
 
 class _ChainStream:
@@ -182,9 +206,15 @@ class _ChainStream:
         self.chain_id = chain_id
         self.owner = owner
         self.chain = owner.engine.database.chain(chain_id)
-        self.matrices = owner.engine.plan_cache.absorbing(
-            self.chain, owner.region, owner.engine.backend
-        )
+        if owner.kind == "ktimes":
+            # the suffix-count ladder runs on the plain chain matrix;
+            # the count dimension lives in the C-blocks, not in an
+            # augmented construction
+            self.matrices = None
+        else:
+            self.matrices = owner.engine.plan_cache.absorbing(
+                self.chain, owner.region, owner.engine.backend
+            )
         self.groups: Dict[int, _StartGroup] = {}
         self.multis: Dict[str, UncertainObject] = {}
         self.singles: Dict[str, int] = {}  # object_id -> start time
@@ -213,6 +243,12 @@ class _ChainStream:
     # ------------------------------------------------------------------
     def add_object(self, obj: UncertainObject) -> None:
         if obj.has_multiple_observations():
+            if self.owner.kind == "ktimes":
+                raise QueryError(
+                    "PSTkQ with multiple observations is not part of "
+                    "the paper's framework; query the first "
+                    "observation only"
+                )
             self.multis[obj.object_id] = obj
             return
         start = obj.initial.time
@@ -284,6 +320,17 @@ class _ChainStream:
     # ------------------------------------------------------------------
     # backward columns
     # ------------------------------------------------------------------
+    def _ladder_matrix(self):
+        """The matrix one rung extension multiplies by.
+
+        ``M_minus`` for exists ladders (the absorbing prefix); the
+        plain chain matrix for k-times C-block ladders (no absorption
+        -- the count dimension rides in the block's columns).
+        """
+        if self.matrices is None:
+            return self.chain.matrix
+        return self.matrices.m_minus
+
     def _extend(self, base_gap: int, steps: int) -> None:
         """Fill rungs ``base_gap+1 .. base_gap+steps`` from ``base_gap``.
 
@@ -293,7 +340,7 @@ class _ChainStream:
         unbounded ladder did.
         """
         rungs = LADDER_EXTEND(
-            (self.matrices.m_minus, self.rel[base_gap], steps),
+            (self._ladder_matrix(), self.rel[base_gap], steps),
             self.chain,
             self.owner.region,
             self.owner.engine.backend,
@@ -303,22 +350,52 @@ class _ChainStream:
         for offset, rung in enumerate(rungs, start=1):
             self.rel[base_gap + offset] = rung
 
+    def _seed_anchor(self, window: SpatioTemporalWindow) -> np.ndarray:
+        """The shift-invariant rung-0 anchor for the current mode.
+
+        Exists: the backward vector ``v(min(T)-1)`` (plan-cache
+        shared).  K-times: the suffix-count core ``W = D(min(T)-1)``
+        of :data:`~repro.exec.operators.KTIMES_CORE`.  Both are
+        numerically identical for every slid window, so seeding
+        happens once per standing query (plus after a full eviction).
+        """
+        if self.owner.kind == "ktimes":
+            blocks = self.owner.engine.plan_cache.ktimes_blocks(
+                self.chain,
+                window,
+                [window.t_start - 1],
+                self.owner.engine.backend,
+                context=self.owner.context,
+            )
+            return np.asarray(blocks[window.t_start - 1], dtype=float)
+        anchor_start = window.t_start - 1
+        vectors = self.owner.engine.plan_cache.backward_vectors(
+            self.chain,
+            window,
+            [anchor_start],
+            self.owner.engine.backend,
+            context=self.owner.context,
+        )
+        return np.asarray(vectors[anchor_start], dtype=float)
+
     def ensure_column(
         self, start: int, window: SpatioTemporalWindow
     ) -> np.ndarray:
-        """The backward column of ``start`` for the current window.
+        """The backward column (or C-block) of ``start`` for the window.
 
         The column is ``rel[gap]`` with ``gap = min(T) - 1 - start``;
-        the anchor ``rel[0] = v(min(T)-1)`` is numerically identical
-        for every slid window (the whole backward pass shifts with the
-        times), so the ladder is computed once and only *extended*: a
-        tick of stride ``s`` deepens the largest live gap by ``s``,
-        which costs ``s`` sparse products per chain -- independent of
-        how many start times, arrivals, or re-sightings it serves.
-        A gap below every retained rung (possible only after eviction
-        dropped the shallow end) is re-derived by one shared backward
-        pass over the window -- exact either way, since every rung is
-        a pure function of its gap.
+        the anchor ``rel[0]`` (``v(min(T)-1)`` for exists, the k-times
+        core ``W`` -- see :meth:`_seed_anchor`) is numerically
+        identical for every slid window (the whole backward pass
+        shifts with the times), so the ladder is computed once and
+        only *extended*: a tick of stride ``s`` deepens the largest
+        live gap by ``s``, which costs ``s`` sparse products per chain
+        -- independent of how many start times, arrivals, or
+        re-sightings it serves.  A gap below every retained rung
+        (possible only after eviction dropped the shallow end) is
+        re-derived -- one shared backward pass for exists, an anchor
+        reseed + extension for k-times -- exact either way, since
+        every rung is a pure function of its gap.
         """
         gap = (window.t_start - 1) - start
         self._touched.add(gap)
@@ -326,18 +403,8 @@ class _ChainStream:
         if column is not None:
             return column
         if not self.rel:
-            # first use: seed the shift-invariant anchor v(min(T)-1)
-            anchor_start = window.t_start - 1
-            vectors = self.owner.engine.plan_cache.backward_vectors(
-                self.chain,
-                window,
-                [anchor_start],
-                self.owner.engine.backend,
-                context=self.owner.context,
-            )
-            self.rel[0] = np.asarray(
-                vectors[anchor_start], dtype=float
-            )
+            # first use: seed the shift-invariant rung-0 anchor
+            self.rel[0] = self._seed_anchor(window)
             if gap == 0:
                 return self.rel[0]
         below = [g for g in self.rel if g < gap]
@@ -345,8 +412,15 @@ class _ChainStream:
             base_gap = max(below)
             self._extend(base_gap, gap - base_gap)
             return self.rel[gap]
-        # eviction dropped every shallower rung: one backward pass
-        # rebuilds this start's column directly
+        # eviction dropped every shallower rung
+        if self.owner.kind == "ktimes":
+            # reseed the core and extend down to this gap (bounded by
+            # the window span plus the shallowest live gap)
+            self.rel[0] = self._seed_anchor(window)
+            if gap > 0:
+                self._extend(0, gap)
+            return self.rel[gap]
+        # exists: one backward pass rebuilds this start's column
         vectors = self.owner.engine.plan_cache.backward_vectors(
             self.chain,
             window,
@@ -386,7 +460,9 @@ class _ChainStream:
     def evaluate(
         self, window: SpatioTemporalWindow
     ) -> Tuple[Dict[str, float], Dict[str, int]]:
-        """Per-object exists-probabilities for the current window."""
+        """Per-object answers for the current window."""
+        if self.owner.kind == "ktimes":
+            return self._evaluate_ktimes(window)
         values: Dict[str, float] = {}
         counters = {"stream": 0, "fallback": 0, "multi": 0}
         n = self.matrices.n_states
@@ -475,6 +551,70 @@ class _ChainStream:
             counters["multi"] = len(candidates)
         return values, counters
 
+    def _evaluate_ktimes(
+        self, window: SpatioTemporalWindow
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """Per-object visit-count distributions for the current window.
+
+        Start groups strictly before the window ride the C-block
+        ladder: one stacked-pdf GEMM against ``rel[gap]`` answers the
+        whole group.  Observations at or inside the window have no
+        ``M`` prefix to extend and take the exact batched
+        :func:`~repro.core.batch.batch_ktimes_distribution` kernel
+        until the window slides past them; objects below their BFS
+        reachability threshold are answered with the point mass at
+        zero visits (the same exact-safe bound the batch pipeline's
+        filter stage applies).
+        """
+        values: Dict[str, np.ndarray] = {}
+        counters = {"stream": 0, "fallback": 0, "multi": 0}
+        n_rows = window.duration + 1
+        thresholds = self.owner._threshold_by_id
+        t_end = window.t_end
+
+        def reachable(object_id: str) -> bool:
+            return thresholds.get(object_id, _UNREACHABLE) <= t_end
+
+        def zero_visits() -> np.ndarray:
+            distribution = np.zeros(n_rows, dtype=float)
+            distribution[0] = 1.0
+            return distribution
+
+        fallback: List[Tuple[str, int, "StateDistribution"]] = []
+        for start, group in sorted(self.groups.items()):
+            if not group.ids:
+                continue
+            if start < window.t_start:
+                block = self.ensure_column(start, window)
+                answers = group.answers(block)
+                for object_id, answer in zip(group.ids, answers):
+                    values[object_id] = np.asarray(answer, dtype=float)
+                counters["stream"] += len(group.ids)
+            else:
+                for object_id, distribution in zip(
+                    group.ids, group.distributions
+                ):
+                    if reachable(object_id):
+                        fallback.append(
+                            (object_id, start, distribution)
+                        )
+                    else:
+                        values[object_id] = zero_visits()
+        if fallback:
+            answers = batch_ktimes_distribution(
+                self.chain,
+                [distribution for _, _, distribution in fallback],
+                window,
+                start_times=[start for _, start, _ in fallback],
+                backend=self.owner.engine.backend,
+                plan_cache=self.owner.engine.plan_cache,
+                context=self.owner.context,
+            )
+            for (object_id, _, _), answer in zip(fallback, answers):
+                values[object_id] = np.array(answer, dtype=float)
+            counters["fallback"] = len(fallback)
+        return values, counters
+
 
 class StandingQuery:
     """One registered sliding-window query; obtain via ``watch()``.
@@ -495,6 +635,8 @@ class StandingQuery:
             raise QueryError(
                 f"stride must be positive, got {stride}"
             )
+        self.kind = "exists"
+        self.k: Optional[int] = None
         if isinstance(query, PSTForAllQuery):
             complement = frozenset(
                 range(engine.database.n_states)
@@ -506,14 +648,17 @@ class StandingQuery:
                 )
             self.region = complement
             self.complemented = True
+        elif isinstance(query, PSTKTimesQuery):
+            self.kind = "ktimes"
+            self.k = query.k
+            self.region = query.region
+            self.complemented = False
         elif isinstance(query, PSTExistsQuery):
             self.region = query.region
             self.complemented = False
         else:
             raise QueryError(
-                "streaming supports exists/for-all queries; k-times "
-                "windows have no incremental backward form -- use "
-                "QueryEngine.evaluate per tick"
+                f"unsupported standing query type {type(query)!r}"
             )
         query.window.validate_for(engine.database.n_states)
         self.engine = engine
@@ -580,6 +725,12 @@ class StandingQuery:
                 object_id: 1.0 - value
                 for object_id, value in values.items()
             }
+        if self.kind == "ktimes" and self.k is not None:
+            # a fixed k asks for one scalar, exactly like evaluate()
+            values = {
+                object_id: float(distribution[self.k])
+                for object_id, distribution in values.items()
+            }
         evaluate_seconds = _time.perf_counter() - stage_started
 
         # drop ladder rungs no live start time can reference -- the
@@ -609,7 +760,9 @@ class StandingQuery:
         self.ticks += 1
         self._offset += self.stride
         return QueryResult(
-            query=type(self.query)(evaluated),
+            # replace() keeps query-type-specific fields (e.g. the
+            # fixed k of a PSTKTimesQuery) on the slid window
+            query=dataclasses.replace(self.query, window=evaluated),
             method="streaming",
             values=values,
             elapsed_seconds=_time.perf_counter() - started,
@@ -719,7 +872,7 @@ class StandingQuery:
     ) -> QueryPlan:
         options = PlanOptions()
         plan = QueryPlan(
-            kind="exists",
+            kind=self.kind,
             window=window,
             requested_method="streaming",
             complemented=self.complemented,
@@ -728,6 +881,7 @@ class StandingQuery:
             parallel=False,
             max_workers=1,
             options=options,
+            semantics="forall" if self.complemented else self.kind,
             groups=[
                 GroupPlan(
                     chain_id=chain_id,
@@ -735,7 +889,11 @@ class StandingQuery:
                     features=GroupFeatures(
                         n_single=len(stream.singles),
                         n_multi=len(stream.multis),
-                        n_states=stream.matrices.size,
+                        n_states=(
+                            stream.matrices.size
+                            if stream.matrices is not None
+                            else stream.chain.n_states
+                        ),
                         nnz=stream.chain.nnz,
                         horizon=max(
                             0,

@@ -7,10 +7,11 @@ has to *rank* strategies correctly, but ranks shift with hardware
 coefficients measured instead of guessed:
 
 1. :func:`measure_grid` runs each operator kernel -- matrix build, QB
-   backward sweep + dots, stacked OB forward sweep, Monte-Carlo
-   sampling -- over a small parameter grid spanning state count, chain
-   non-zeros, query horizon and object count, timing every point
-   through the same operator layer queries execute on;
+   backward sweep + dots, stacked OB forward sweep, stacked Section
+   VII k-times sweep, Monte-Carlo sampling -- over a small parameter
+   grid spanning state count, chain non-zeros, query horizon and
+   object count, timing every point through the same operator layer
+   queries execute on;
 2. :func:`fit` least-squares-fits the
    :data:`~repro.core.planner.CALIBRATED_COEFFICIENTS` to those
    measurements (non-negative least squares on relative error, so the
@@ -96,7 +97,7 @@ class Measurement:
     """One timed kernel run at one grid point."""
 
     point: GridPoint
-    kernel: str  # "build" | "qb" | "ob" | "mc"
+    kernel: str  # "build" | "qb" | "ob" | "ct" | "mc"
     seconds: float
 
 
@@ -197,6 +198,11 @@ def _window(point: GridPoint) -> SpatioTemporalWindow:
     )
 
 
+def _duration(point: GridPoint) -> int:
+    """``|T_q|`` of :func:`_window` at this point (without building it)."""
+    return point.horizon - max(1, point.horizon - 4) + 1
+
+
 def _timed(callable_, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -217,6 +223,7 @@ def measure_grid(
     matrices pre-built so the build cost is its own measurement.
     """
     from repro.core.batch import (
+        batch_ktimes_distribution,
         batch_mc_exists,
         batch_ob_exists,
         batch_qb_exists,
@@ -257,6 +264,15 @@ def measure_grid(
         measurements.append(Measurement(point, "build", build_seconds))
         measurements.append(Measurement(point, "qb", qb_seconds))
         measurements.append(Measurement(point, "ob", ob_seconds))
+        # k-times: one shared suffix-count pass + one dot per object
+        # (cheap at every grid point -- no cap needed)
+        ct_seconds = _timed(
+            lambda: batch_ktimes_distribution(
+                chain, initials, window
+            ),
+            config.repeats,
+        )
+        measurements.append(Measurement(point, "ct", ct_seconds))
         # Monte-Carlo rows only where sampling stays cheap: the fit
         # needs coverage, not another quadratic sweep
         if (
@@ -293,7 +309,7 @@ def _features(point: GridPoint) -> GroupFeatures:
         n_states=point.n_states + 1,
         nnz=point.n_states * point.degree,
         horizon=point.horizon,
-        duration=5,
+        duration=_duration(point),
         absorbing_cached=True,  # kernels were timed with prebuilt
     )
 
@@ -318,6 +334,13 @@ def _design_row(
     elif measurement.kernel == "ob":
         row[index["dense_sweep_unit"]] = (
             point.horizon * nnz * max(1, point.n_objects)
+        )
+        row[index["object_overhead"]] = point.n_objects
+    elif measurement.kernel == "ct":
+        rows_ct = _duration(point) + 1
+        row[index["ktimes_unit"]] = point.horizon * nnz * rows_ct
+        row[index["dot_unit"]] = (
+            point.n_objects * (point.n_states + 1) * rows_ct
         )
         row[index["object_overhead"]] = point.n_objects
     elif measurement.kernel == "mc":

@@ -396,15 +396,14 @@ class _ShardTask:
     """One unit of worker work: a row range of one chain group.
 
     Everything here is cheap to pickle; the heavy payloads travel as
-    :class:`SharedCSR` metadata.
+    :class:`SharedCSR` metadata.  The absorbing-matrix handles are
+    ``None`` for k-times (``method="ct"``) shards -- the stacked C(t)
+    sweep runs on the chain CSR alone, with the visit-count dimension
+    living in the worker's stack rather than in an augmented matrix.
     """
 
     fingerprint: str
     chain: SharedCSR
-    m_minus: SharedCSR
-    m_plus: SharedCSR
-    m_minus_t: SharedCSR
-    m_plus_t: SharedCSR
     initials: SharedCSR
     row_lo: int
     row_hi: int
@@ -413,6 +412,10 @@ class _ShardTask:
     times: Tuple[int, ...]
     method: str
     backend: Optional[str]
+    m_minus: Optional[SharedCSR] = None
+    m_plus: Optional[SharedCSR] = None
+    m_minus_t: Optional[SharedCSR] = None
+    m_plus_t: Optional[SharedCSR] = None
 
 
 # worker-local caches, populated lazily after the fork
@@ -429,11 +432,12 @@ def _worker_cache():
 
 
 def _rehydrate(task: _ShardTask):
-    """Chain + absorbing matrices from shared memory, cache-adopted.
+    """Chain (+ absorbing matrices) from shared memory, cache-adopted.
 
     The worker cache is keyed by the *fingerprint* shipped with the
     task -- never by object identity -- so the first task of a chain
     rehydrates and every later task (and every later query) hits.
+    k-times tasks carry no absorbing handles; ``matrices`` is None.
     """
     from repro.core.markov import MarkovChain
     from repro.core.matrices import AbsorbingMatrices
@@ -451,6 +455,8 @@ def _rehydrate(task: _ShardTask):
             "chain", task.fingerprint, frozenset(), task.backend, chain
         )
     chain = adopted
+    if task.m_minus is None:
+        return chain, None, cache
     matrices = cache.lookup_fingerprint(
         "absorbing", task.fingerprint, region, task.backend
     )
@@ -514,7 +520,9 @@ def _evaluate_shard(task: _ShardTask):
     from repro.core.query import SpatioTemporalWindow
     from repro.exec.operators import (
         FORWARD_SWEEP,
+        KTIMES_SWEEP,
         ExecutionContext,
+        KTimesSchedule,
         SweepSchedule,
     )
 
@@ -529,7 +537,33 @@ def _evaluate_shard(task: _ShardTask):
     )
     starts = task.starts[task.row_lo:task.row_hi]
 
-    if task.method == "ob":
+    if task.method == "ct":
+        # stacked Section VII C(t) sweep: one (n_rows,) count
+        # distribution per shard row instead of a scalar
+        activations: Dict[int, list] = {}
+        for row in range(rows.shape[0]):
+            activations.setdefault(starts[row], []).append(
+                (row, rows[row])
+            )
+        region_columns = np.asarray(task.region, dtype=int)
+        region_columns.sort()
+        schedule = KTimesSchedule(
+            n_objects=rows.shape[0],
+            n_rows=len(task.times) + 1,
+            first=min(starts),
+            last=window.t_end,
+            times=window.times,
+            region_columns=region_columns,
+            activations=activations,
+        )
+        values = KTIMES_SWEEP(
+            schedule,
+            chain,
+            window.region,
+            task.backend,
+            context=context,
+        )
+    elif task.method == "ob":
         activations: Dict[int, list] = {}
         for row in range(rows.shape[0]):
             activations.setdefault(starts[row], []).append(
@@ -589,31 +623,35 @@ def run_groups_in_processes(
     backend: Optional[str] = None,
     plan_cache=None,
     context=None,
-) -> Tuple[Dict[str, float], List[float]]:
+) -> Tuple[Dict[str, object], List[float]]:
     """Evaluate single-observation chain groups across worker processes.
 
     Args:
         tasks: ``(chain, matrices, objects, method)`` per chain group,
             with ``matrices`` the group's absorbing matrices (resolved
             in the parent so the publication is the same artefact the
-            serial path would use) and ``objects`` single-observation
+            serial path would use; ``None`` for ``method="ct"``
+            k-times groups, whose stacked sweep needs only the chain
+            CSR) and ``objects`` single-observation
             :class:`~repro.database.objects.UncertainObject` lists.
         window: the evaluated window.
         max_workers: pool size.
-        shard_min_objects: smallest within-chain shard; object-based
-            groups are split into up to ``max_workers`` shards of at
-            least this many rows.
+        shard_min_objects: smallest within-chain shard; stacked-sweep
+            groups (``"ob"`` exists, ``"ct"`` k-times) are split into
+            up to ``max_workers`` shards of at least this many rows.
         backend: linear-algebra backend name.
         plan_cache: parent cache (only used to keep artefacts shared).
         context: parent :class:`~repro.exec.operators.ExecutionContext`
             receiving the merged worker timings.
 
     Returns:
-        ``(values, group_seconds)``: per-object probabilities across
-        all groups -- identical (to the bit) to the serial kernels,
-        asserted at 1e-12 in the dispatch parity tests -- plus, per
-        input task, the summed worker-side wall seconds of its shards
-        (the per-group EXPLAIN ANALYZE timing).
+        ``(values, group_seconds)``: per-object answers across all
+        groups -- scalar probabilities for exists shards, ``(|T_q|+1,)``
+        count-distribution arrays for k-times shards -- identical (to
+        the bit) to the serial kernels, asserted at 1e-12 in the
+        dispatch parity tests -- plus, per input task, the summed
+        worker-side wall seconds of its shards (the per-group EXPLAIN
+        ANALYZE timing).
     """
     publisher = _publisher()
     executor = _acquire_executor(max_workers)
@@ -631,9 +669,12 @@ def run_groups_in_processes(
             if not objects:
                 continue
             fingerprint, chain_handle = publisher.chain(chain, lease)
-            minus_h, plus_h, minus_t_h, plus_t_h = publisher.absorbing(
-                chain, matrices, backend, lease
-            )
+            if matrices is not None:
+                minus_h, plus_h, minus_t_h, plus_t_h = (
+                    publisher.absorbing(chain, matrices, backend, lease)
+                )
+            else:  # ct: the chain CSR is the whole matrix payload
+                minus_h = plus_h = minus_t_h = plus_t_h = None
             stacked = _sp.vstack(
                 [
                     _sp.csr_matrix(
@@ -652,7 +693,7 @@ def run_groups_in_processes(
             ids = [obj.object_id for obj in objects]
 
             n_rows = len(objects)
-            if method == "ob":
+            if method in ("ob", "ct"):
                 n_shards = max(
                     1,
                     min(
@@ -689,13 +730,19 @@ def run_groups_in_processes(
                 )
                 id_slices.append((ids, task_index))
 
-        values: Dict[str, float] = {}
+        values: Dict[str, object] = {}
         for future, (ids, task_index) in zip(futures, id_slices):
             row_lo, _row_hi, shard_values, timings, elapsed = (
                 future.result()
             )
-            for offset, probability in enumerate(shard_values):
-                values[ids[row_lo + offset]] = float(probability)
+            shard_values = np.asarray(shard_values)
+            for offset, answer in enumerate(shard_values):
+                values[ids[row_lo + offset]] = (
+                    # ct shards return one count distribution per row
+                    np.asarray(answer, dtype=float)
+                    if shard_values.ndim == 2
+                    else float(answer)
+                )
             group_seconds[task_index] += elapsed
             if context is not None:
                 context.merge(timings)

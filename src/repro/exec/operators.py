@@ -53,9 +53,12 @@ __all__ = [
     "Operator",
     "OperatorStats",
     "SweepSchedule",
+    "KTimesSchedule",
     "BuildMatrices",
     "ForwardSweep",
     "BackwardSweep",
+    "KTimesSweep",
+    "KTimesCore",
     "PosteriorCollapse",
     "MCSample",
     "LadderExtend",
@@ -65,6 +68,8 @@ __all__ = [
     "BUILD_DOUBLED",
     "FORWARD_SWEEP",
     "BACKWARD_SWEEP",
+    "KTIMES_SWEEP",
+    "KTIMES_CORE",
     "POSTERIOR_COLLAPSE",
     "MC_SAMPLE",
     "LADDER_EXTEND",
@@ -441,6 +446,177 @@ class BackwardSweep(Operator):
 
 
 # ----------------------------------------------------------------------
+# KTimesSweep
+# ----------------------------------------------------------------------
+@dataclass
+class KTimesSchedule:
+    """What one stacked Section VII C(t) sweep activates and harvests.
+
+    The per-object ``C`` matrix is ``(|T_q|+1) x |S|``; the cohort
+    stacks every object's ``C`` into one block so each timestep costs
+    one sparse product for *all* objects, exactly as
+    :class:`SweepSchedule` batches the exists sweeps.
+
+    Attributes:
+        n_objects: objects stacked into the sweep.
+        n_rows: visit-count rows per object (``|T_q| + 1``).
+        first: timestamp of the earliest activation.
+        last: ``t_end`` -- every block is harvested there.
+        times: the query timestamps ``T_q`` (selects the column shift).
+        region_columns: the query region as a sorted index array.
+        activations: per timestamp, ``(object, initial vector)`` pairs
+            entering the sweep when it reaches that timestamp (raw
+            ``n_states`` vectors, no copies).
+    """
+
+    n_objects: int
+    n_rows: int
+    first: int
+    last: int
+    times: FrozenSet[int]
+    region_columns: np.ndarray
+    activations: Dict[int, List[Tuple[int, np.ndarray]]]
+
+
+class KTimesSweep(Operator):
+    """One stacked Section VII C(t) pass executing a
+    :class:`KTimesSchedule`.
+
+    The cohort is kept *transposed* -- a C-contiguous
+    ``(n_states, live_rows, n_objects)`` array -- so each transition
+    is ``M^T @ X`` over the chain's cached transpose: one CSR kernel
+    call per timestep for every object, mirroring the exists sweeps'
+    layout.  The count dimension grows *progressively*: after the
+    ``i``-th query timestamp at most ``i + 1`` visit counts carry
+    mass, so below the window every object is a single column (the
+    naive per-object C(t) drags all ``|T_q|+1`` rows over the whole
+    horizon -- most of the refactor's speedup is not multiplying
+    structural zeros).  The paper's column shift (the visit count
+    incrementing for mass inside the region) is fused into the growth
+    step as one fancy-indexed row shift over the whole cohort.  Per
+    object the products are identical to
+    :func:`repro.core.ktimes.ktimes_distribution`, so results agree
+    to 1e-12 (asserted in the test suite).
+
+    ``inputs`` is the schedule; the result is one ``(n_rows,)`` count
+    distribution per object, stacked ``(n_objects, n_rows)``.
+    """
+
+    name = "ktimes_sweep"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        schedule = inputs
+        n = chain.n_states
+        n_objects = schedule.n_objects
+        live = 1  # count rows that can be non-zero so far
+        stack = np.zeros((n, 1, n_objects), dtype=float)
+        transpose = chain.transpose_matrix()
+        columns = schedule.region_columns
+
+        def visit(time: int) -> None:
+            nonlocal stack, live
+            for obj, initial in schedule.activations.get(time, ()):
+                stack[:, 0, obj] = np.asarray(initial, dtype=float)
+            if time in schedule.times:
+                # footnote 3 for just-activated objects, the regular
+                # count increment for everyone already in flight
+                if live < schedule.n_rows:
+                    grown = np.zeros(
+                        (n, live + 1, n_objects), dtype=float
+                    )
+                    grown[:, :live, :] = stack
+                    grown[columns, 1:live + 1, :] = stack[columns]
+                    grown[columns, 0, :] = 0.0
+                    stack = grown
+                    live += 1
+                else:  # defensive: a count beyond |T_q| cannot occur
+                    stack[columns, 1:, :] = stack[columns, :-1, :]
+                    stack[columns, 0, :] = 0.0
+
+        visit(schedule.first)
+        for time in range(schedule.first + 1, schedule.last + 1):
+            flat = np.asarray(
+                transpose @ stack.reshape(n, live * n_objects),
+                dtype=float,
+            )
+            stack = flat.reshape(n, live, n_objects)
+            visit(time)
+        result = np.zeros((n_objects, schedule.n_rows), dtype=float)
+        result[:, :live] = stack.sum(axis=0).T
+        return result
+
+
+class KTimesCore(Operator):
+    """The k-times backward blocks ``D(t)`` (suffix-count recursion).
+
+    ``D(t)[s, k]`` is the probability of visiting the region at
+    exactly ``k`` query timestamps strictly after ``t``, given the
+    object sits at state ``s`` at time ``t`` -- the suffix-count
+    decomposition of Definition 4.  The recursion mirrors the forward
+    C(t) algorithm run backwards::
+
+        D(t_end) = [1, 0, ..., 0] per state
+        D(t)     = M . E(t+1)
+
+    where ``E(t+1)`` is ``D(t+1)`` with the region rows' counts
+    shifted up one when ``t+1 in T_q`` (below the window every step
+    is a plain ``M`` product).  An object observed at ``t_0 <
+    min(T_q)`` with pdf ``pi`` then answers in one dense dot:
+    ``p = pi . D(t_0)`` -- the k-times analogue of the Section V-B
+    backward vector, amortising one pass over arbitrarily many
+    objects.  Like the exists backward vector, the blocks are
+    *shift-invariant* (``D`` of the slid window is ``M^stride`` times
+    the old one), which is what the C-block ladder of
+    :mod:`repro.core.streaming` extends per tick.
+
+    ``inputs`` is ``(window, start_times)``; one pass from ``t_end``
+    down to the earliest requested start yields ``D(t)`` for every
+    intermediate ``t`` -- the requested ones are copied out as a
+    ``{start: (n_states, n_rows) block}`` dict.
+    """
+
+    name = "ktimes_core"
+
+    def run(self, inputs, chain, region, backend, context=None, **_):
+        window, start_times = inputs
+        wanted = sorted({int(t) for t in start_times})
+        if not wanted:
+            return {}
+        if wanted[0] < 0:
+            raise QueryError(
+                f"start_time must be non-negative, got {wanted[0]}"
+            )
+        if wanted[-1] >= window.t_start:
+            raise QueryError(
+                f"suffix-count blocks exist only strictly before the "
+                f"window start {window.t_start}; got {wanted[-1]}"
+            )
+        n = chain.n_states
+        n_rows = window.duration + 1
+        columns = np.fromiter(
+            window.region, dtype=int, count=len(window.region)
+        )
+        columns.sort()
+        block = np.zeros((n, n_rows), dtype=float)
+        block[:, 0] = 1.0  # zero suffix visits after t_end, surely
+        matrix = chain.matrix
+        remaining = set(wanted)
+        result: Dict[int, np.ndarray] = {}
+        for target in range(window.t_end, wanted[0], -1):
+            if target in window.times:
+                shifted = block.copy()
+                shifted[columns, 1:] = block[columns, :-1]
+                shifted[columns, 0] = 0.0
+                block = np.asarray(matrix @ shifted, dtype=float)
+            else:
+                block = np.asarray(matrix @ block, dtype=float)
+            if target - 1 in remaining:
+                # safe without a copy: the loop only rebinds `block`
+                result[target - 1] = block
+        return result
+
+
+# ----------------------------------------------------------------------
 # PosteriorCollapse
 # ----------------------------------------------------------------------
 class PosteriorCollapse(Operator):
@@ -597,6 +773,8 @@ BUILD_ABSORBING = BuildMatrices("absorbing")
 BUILD_DOUBLED = BuildMatrices("doubled")
 FORWARD_SWEEP = ForwardSweep()
 BACKWARD_SWEEP = BackwardSweep()
+KTIMES_SWEEP = KTimesSweep()
+KTIMES_CORE = KTimesCore()
 POSTERIOR_COLLAPSE = PosteriorCollapse()
 MC_SAMPLE = MCSample()
 LADDER_EXTEND = LadderExtend()

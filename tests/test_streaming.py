@@ -292,9 +292,33 @@ class TestStreamingPlan:
         with pytest.raises(QueryError):
             standing.explain()
 
-    def test_ktimes_rejected(self):
+    def test_ktimes_standing_query_matches_batch(self):
         database = build_database(seed=10)
-        with pytest.raises(QueryError, match="k-times"):
+        engine = QueryEngine(database)
+        standing = engine.watch(PSTKTimesQuery(WINDOW))
+        fresh = QueryEngine(database)
+        for _ in range(4):
+            result = standing.tick()
+            scratch = fresh.evaluate(result.query)
+            for object_id in database.object_ids:
+                assert np.asarray(
+                    result.values[object_id]
+                ) == pytest.approx(
+                    np.asarray(scratch.values[object_id]), abs=1e-12
+                )
+
+    def test_ktimes_standing_query_rejects_multis(self):
+        database = build_database(seed=10)
+        rng = np.random.default_rng(0)
+        first = database.get(database.object_ids[0])
+        database.append_observation(
+            first.object_id,
+            Observation(
+                WINDOW.t_start - 2,
+                make_object_distribution(N_STATES, 5, rng),
+            ),
+        )
+        with pytest.raises(QueryError, match="multiple observations"):
             QueryEngine(database).watch(PSTKTimesQuery(WINDOW))
 
     def test_bad_stride_rejected(self):
