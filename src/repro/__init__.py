@@ -35,15 +35,22 @@ from repro.core.distribution import StateDistribution
 from repro.core.engine import QueryEngine, QueryResult
 from repro.core.errors import (
     BackendError,
+    DegradedExecutionWarning,
     DimensionMismatchError,
+    ExecutionError,
     InfeasibleEvidenceError,
+    InjectedFaultError,
     NotStochasticError,
     ObservationError,
+    QuarantinedQueryError,
     QueryError,
     ReproError,
+    SegmentLostError,
     SerializationError,
     StateSpaceError,
+    TaskTimeoutError,
     ValidationError,
+    WorkerCrashError,
 )
 from repro.core.forecast import (
     CongestionEvent,
@@ -105,6 +112,7 @@ from repro.core.planner import (
     QueryPlan,
     QueryPlanner,
     StageStats,
+    SupervisorPolicy,
 )
 from repro.core.query import (
     PSTExistsQuery,
@@ -147,6 +155,7 @@ from repro.database.serialization import (
     save_database,
 )
 from repro.database.uncertain_db import TrajectoryDatabase
+from repro.exec.faults import FaultInjector, FaultSpec
 
 __version__ = "1.0.0"
 
@@ -194,6 +203,10 @@ __all__ = [
     "StageStats",
     "QueryPlanner",
     "QueryPipeline",
+    "SupervisorPolicy",
+    # fault injection
+    "FaultInjector",
+    "FaultSpec",
     # streaming / monitoring
     "StreamingQueryEngine",
     "StandingQuery",
@@ -265,4 +278,11 @@ __all__ = [
     "InfeasibleEvidenceError",
     "BackendError",
     "SerializationError",
+    "ExecutionError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
+    "SegmentLostError",
+    "InjectedFaultError",
+    "QuarantinedQueryError",
+    "DegradedExecutionWarning",
 ]

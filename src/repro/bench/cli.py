@@ -16,6 +16,14 @@ planner's :class:`~repro.core.planner.CostModel` coefficients to this
 machine, persists them (default ``~/.repro/costmodel.json``, see
 ``CostModel.from_calibration``) and fails when the fitted model picks
 the observed-fastest kernel on less than 80% of the held-out grid.
+
+``repro-bench doctor`` is the shared-memory health check: it lists
+every ``repro-*`` segment on the machine with its owning PID and
+liveness, sweeps segments leaked by dead sessions (skip with
+``--no-sweep``), and prints the live-byte accounting of
+:func:`repro.exec.dispatch.memory_stats`.  Exit code 0 means no leaked
+bytes remain; 1 means orphans survived the sweep (or were left by
+``--no-sweep``).
 """
 
 from __future__ import annotations
@@ -46,12 +54,18 @@ def _parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         help="experiment ids to run (see --list), or the special "
-             "command 'calibrate'",
+             "commands 'calibrate' and 'doctor'",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="calibrate: seconds-scale CI grid",
+    )
+    parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="doctor: report orphaned shared-memory segments without "
+             "unlinking them",
     )
     parser.add_argument(
         "--costmodel-path",
@@ -151,16 +165,60 @@ def _run_calibrate(args) -> int:
     return 0
 
 
+def _run_doctor(args) -> int:
+    """``repro-bench doctor``: shared-memory janitor + accounting."""
+    from repro.exec.dispatch import (
+        list_segments,
+        memory_stats,
+        sweep_orphans,
+    )
+
+    segments = list_segments()
+    if segments:
+        print(f"{'segment':<32} {'pid':>8} {'bytes':>12} state")
+        for info in segments:
+            state = "live" if info.alive else "ORPHAN"
+            print(
+                f"{info.name:<32} {info.pid:>8} {info.size:>12} "
+                f"{state}"
+            )
+    else:
+        print("no repro-* shared-memory segments found")
+    if not args.no_sweep:
+        swept = sweep_orphans()
+        if swept:
+            reclaimed = sum(info.size for info in swept)
+            print(
+                f"swept {len(swept)} orphaned segment(s), "
+                f"reclaimed {reclaimed} bytes"
+            )
+        else:
+            print("nothing to sweep")
+    stats = memory_stats()
+    print(
+        f"session bytes : {stats['session_bytes']}\n"
+        f"machine bytes : {stats['machine_bytes']} "
+        f"({stats['segments']} segment(s))\n"
+        f"leaked bytes  : {stats['orphan_bytes']}"
+    )
+    return 0 if stats["orphan_bytes"] == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _parser().parse_args(argv)
-    if args.experiments and args.experiments[0] == "calibrate":
+    if args.experiments and args.experiments[0] in (
+        "calibrate", "doctor"
+    ):
+        command = args.experiments[0]
         if len(args.experiments) > 1:
             print(
-                "calibrate takes no extra experiment ids",
+                f"{command} takes no extra experiment ids",
                 file=sys.stderr,
             )
             return 2
+        if command == "doctor":
+            return _run_doctor(args)
         return _run_calibrate(args)
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):

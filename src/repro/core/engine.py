@@ -308,7 +308,13 @@ class QueryEngine:
             )
         return result.plan
 
-    def watch(self, query: PSTQuery, stride: int = 1):
+    def watch(
+        self,
+        query: PSTQuery,
+        stride: int = 1,
+        faults=None,
+        quarantine_after: int = 3,
+    ):
         """Register ``query`` as a standing sliding-window query.
 
         Returns a :class:`~repro.core.streaming.StandingQuery` whose
@@ -317,7 +323,9 @@ class QueryEngine:
         by one sparse product per slid timestamp instead of recomputed
         -- then slides it ``stride`` timestamps forward.  The streaming
         engine shares this engine's plan cache and reachability pruner,
-        so artefacts built by either serve both.
+        so artefacts built by either serve both.  ``faults`` and
+        ``quarantine_after`` pass through to
+        :meth:`~repro.core.streaming.StreamingQueryEngine.watch`.
         """
         from repro.core.streaming import StreamingQueryEngine
 
@@ -328,7 +336,12 @@ class QueryEngine:
                 plan_cache=self.plan_cache,
                 pruner=self.pruner,
             )
-        return self._streaming.watch(query, stride=stride)
+        return self._streaming.watch(
+            query,
+            stride=stride,
+            faults=faults,
+            quarantine_after=quarantine_after,
+        )
 
     # ------------------------------------------------------------------
     # auto-stream promotion (PlanOptions.auto_stream)

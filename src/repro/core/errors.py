@@ -55,3 +55,81 @@ class BackendError(ReproError):
 
 class SerializationError(ReproError):
     """A persisted artifact cannot be read or written."""
+
+
+class ExecutionError(ReproError):
+    """A failure in the execution substrate (pools, shared memory).
+
+    Unlike :class:`ValidationError` (the *input* was wrong), an
+    execution error means the *machinery* failed: a worker process
+    died, a task overran its deadline, a shared-memory segment
+    vanished.  The supervised dispatch layer
+    (:mod:`repro.exec.dispatch`) retries transient execution errors
+    and degrades process -> thread -> serial before letting one
+    propagate, so user code normally only sees this after every
+    recovery path was exhausted.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker process died mid-task.
+
+    Raised by the dispatch supervisor after pool rebuilds and
+    resubmissions failed ``max_retries`` times in a row -- a single
+    crash is recovered transparently (the pool is rebuilt and the
+    unfinished shards resubmitted) and only recorded as a
+    ``plan.degradations`` event.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A dispatched task overran its supervised deadline.
+
+    Deadlines are priced from the calibrated
+    :class:`~repro.core.planner.CostModel` (predicted seconds times
+    :attr:`~repro.core.planner.SupervisorPolicy.timeout_multiplier`);
+    a timed-out pool is torn down (the hung worker cannot be
+    reclaimed) and the task retried on a fresh one before this
+    propagates.
+    """
+
+
+class SegmentLostError(ExecutionError):
+    """A shared-memory segment vanished or failed verification.
+
+    Raised when a worker attaches a segment whose name no longer
+    resolves (a racing unlink, a crashed publisher) or whose content
+    no longer matches its publication checksum.  The supervisor
+    treats it as transient; on exhaustion the publisher's cache is
+    invalidated so the *next* query republishes from scratch.
+    """
+
+
+class InjectedFaultError(ExecutionError):
+    """The deterministic chaos hook of :mod:`repro.exec.faults` fired.
+
+    Never raised in production -- only by a
+    :class:`~repro.exec.faults.FaultInjector` threaded through an
+    :class:`~repro.exec.operators.ExecutionContext` in fault-injection
+    tests, so recovery paths can be driven deterministically.
+    """
+
+
+class QuarantinedQueryError(ExecutionError):
+    """A standing query was quarantined after repeated tick failures.
+
+    The original error is recorded on
+    :attr:`~repro.core.streaming.StandingQuery.error`; call
+    :meth:`~repro.core.streaming.StandingQuery.reset` to rebuild the
+    query's state from the database and resume ticking.
+    """
+
+
+class DegradedExecutionWarning(UserWarning):
+    """Execution fell back to a slower-but-safe tier.
+
+    Emitted (via :mod:`warnings`) when supervised dispatch exhausts
+    its retries and degrades process -> thread -> serial.  The query
+    still returns the exact answer; the degradation is also recorded
+    on ``plan.degradations`` so ``explain()`` shows what happened.
+    """

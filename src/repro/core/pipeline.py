@@ -31,11 +31,21 @@ answer is non-zero -- and the kernels are exact, so pipeline output is
 identical (to the last bit) to unfiltered forced-method evaluation;
 the test suite asserts 1e-12 parity plus the randomized safety
 property.
+
+**Degradation.**  The evaluate stage is fault-tolerant: when the
+supervised process tier exhausts its retries
+(:class:`~repro.core.errors.ExecutionError` from
+:mod:`repro.exec.dispatch`), the stage falls back to the thread tier,
+and from there to serial -- the same exact kernels, so the query still
+returns the exact answer.  Each fall is recorded on
+``plan.degradations`` (rendered by ``QueryPlan.describe()``) and
+warned as :class:`~repro.core.errors.DegradedExecutionWarning`.
 """
 
 from __future__ import annotations
 
 import time as _time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Union
 
@@ -48,7 +58,11 @@ from repro.core.batch import (
     batch_ob_exists,
     batch_qb_exists,
 )
-from repro.core.errors import QueryError
+from repro.core.errors import (
+    DegradedExecutionWarning,
+    ExecutionError,
+    QueryError,
+)
 from repro.core.planner import CostModel, GroupPlan, QueryPlan, StageStats
 from repro.core.query import PSTKTimesQuery
 from repro.database.objects import UncertainObject
@@ -131,18 +145,25 @@ class QueryPipeline:
                             "first observation only"
                         )
 
-        context = ExecutionContext(self.plan_cache, self.backend)
+        context = ExecutionContext(
+            self.plan_cache, self.backend,
+            faults=plan.options.faults,
+        )
         values: Dict[str, ResultValue] = {}
         survivors: Dict[str, List[UncertainObject]] = {
             group.chain_id: list(group.objects) for group in plan.groups
         }
         zero = self._zero_factory(plan, query)
         plan.stages = []
+        plan.degradations = []
 
         self._stage_prefilter(plan, survivors, values, zero, context)
         self._stage_bfs(plan, survivors, values, zero, context)
         self._stage_evaluate(plan, survivors, values, query, context)
         plan.operator_seconds = context.timings
+        # recovery events (pool rebuilds, retries, tier falls) land on
+        # the plan so EXPLAIN surfaces what execution had to survive
+        plan.degradations.extend(context.events)
         return values
 
     # ------------------------------------------------------------------
@@ -264,9 +285,20 @@ class QueryPipeline:
         mode = plan.dispatch if plan.parallel else "serial"
         pool_tasks: Optional[int] = None
         if mode == "process":
-            pool_tasks = self._evaluate_processes(
-                plan, survivors, values, query, context, seed_index
-            )
+            try:
+                pool_tasks = self._evaluate_processes(
+                    plan, survivors, values, query, context, seed_index
+                )
+            except ExecutionError as error:
+                # supervised retries exhausted (crash / timeout / lost
+                # segment): same exact kernels, one tier down
+                pool_tasks = None
+                self._degrade(
+                    context,
+                    "process",
+                    "thread" if len(plan.groups) > 1 else "serial",
+                    error,
+                )
             if pool_tasks is None:  # unavailable: degrade gracefully
                 mode = "thread" if len(plan.groups) > 1 else "serial"
 
@@ -299,11 +331,17 @@ class QueryPipeline:
                 if survivors[group.chain_id]
             ]
             if mode == "thread" and len(busy) > 1:
-                with ThreadPoolExecutor(
-                    max_workers=plan.max_workers
-                ) as pool:
-                    for out in pool.map(run_group, plan.groups):
-                        values.update(out)
+                try:
+                    with ThreadPoolExecutor(
+                        max_workers=plan.max_workers
+                    ) as pool:
+                        for out in pool.map(run_group, plan.groups):
+                            values.update(out)
+                except ExecutionError as error:
+                    self._degrade(context, "thread", "serial", error)
+                    mode = "serial"
+                    for group in plan.groups:
+                        values.update(run_group(group))
             else:
                 mode = "serial"
                 for group in plan.groups:
@@ -442,6 +480,15 @@ class QueryPipeline:
                 )
             elapsed[group.chain_id] += _time.perf_counter() - started
         if tasks:
+            # price the supervisor deadline from the same cost model
+            # the planner chose methods with: the model's estimate for
+            # every pool-bound group, converted to seconds
+            predicted = sum(
+                model.predict_seconds(
+                    group.costs.get(group.method, 0.0)
+                )
+                for group in task_groups
+            )
             shard_values, group_seconds = (
                 _dispatch.run_groups_in_processes(
                     tasks,
@@ -451,6 +498,9 @@ class QueryPipeline:
                     backend=self.backend,
                     plan_cache=self.plan_cache,
                     context=context,
+                    policy=plan.options.supervisor,
+                    predicted_seconds=predicted,
+                    faults=plan.options.faults,
                 )
             )
             if plan.kind == "ktimes":
@@ -582,6 +632,28 @@ class QueryPipeline:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _degrade(
+        context: ExecutionContext,
+        tier: str,
+        target: str,
+        error: BaseException,
+    ) -> None:
+        """Record one execution-tier fall and warn the caller.
+
+        The event lands on ``context.events`` (copied to
+        ``plan.degradations`` by :meth:`execute`) so ``explain()``
+        shows *why* a parallel plan answered serially.
+        """
+        message = (
+            f"degraded {tier} -> {target} after "
+            f"{type(error).__name__}: {error}"
+        )
+        context.record_event(message)
+        warnings.warn(
+            DegradedExecutionWarning(message), stacklevel=4
+        )
+
     @staticmethod
     def _zero_factory(
         plan: QueryPlan, query

@@ -36,7 +36,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.errors import QueryError
+from repro.core.errors import QueryError, ValidationError
 from repro.core.query import (
     PSTExistsQuery,
     PSTForAllQuery,
@@ -49,6 +49,7 @@ from repro.database.objects import UncertainObject
 __all__ = [
     "CostModel",
     "PlanOptions",
+    "SupervisorPolicy",
     "GroupPlan",
     "StageStats",
     "QueryPlan",
@@ -70,6 +71,97 @@ CALIBRATED_COEFFICIENTS = (
     "ktimes_unit",
     "object_overhead",
 )
+
+
+def _require_int(name: str, value, minimum: int) -> None:
+    """Eager type+range check; names the offending value.
+
+    Values like ``max_workers=2.5`` or ``max_workers="4"`` used to
+    slip through planning and explode deep inside pool acquisition
+    with a bare ``TypeError``; every integral knob is now rejected at
+    option-construction time instead.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"{name} must be an int, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value < minimum:
+        raise ValidationError(
+            f"{name} must be >= {minimum}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs of the supervised process dispatch of
+    :mod:`repro.exec.dispatch`.
+
+    Every dispatched task runs under a deadline priced from the cost
+    model (``predicted seconds x timeout_multiplier``, floored at
+    ``timeout_floor``, or the explicit ``timeout_seconds``).  A task
+    that crashes its worker, loses a shared-memory segment, or times
+    out is retried on a rebuilt pool with exponential backoff up to
+    ``max_retries`` times; past that the dispatch call raises and the
+    pipeline degrades process -> thread -> serial (recorded on
+    ``plan.degradations`` and warned as
+    :class:`~repro.core.errors.DegradedExecutionWarning`).
+
+    Attributes:
+        timeout_seconds: explicit per-attempt deadline; ``None``
+            prices it from the cost model.
+        timeout_multiplier: safety factor over the predicted seconds.
+        timeout_floor: smallest deadline ever enforced (cost
+            predictions for tiny tasks are noisy; a too-tight deadline
+            would turn scheduler jitter into spurious pool teardowns).
+        max_retries: failed attempts retried before the dispatch call
+            gives up (``2`` means up to three attempts in total).
+        backoff_seconds: sleep before the first retry; doubles each
+            further retry.
+        verify_segments: re-checksum shared-memory payloads on worker
+            attach, so a corrupted segment fails loudly as
+            :class:`~repro.core.errors.SegmentLostError` instead of
+            silently producing wrong numbers (off by default: the
+            publication checksum is always recorded, verification
+            costs one pass over the payload per worker rehydration).
+    """
+
+    timeout_seconds: Optional[float] = None
+    timeout_multiplier: float = 8.0
+    timeout_floor: float = 30.0
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    verify_segments: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and not (
+            isinstance(self.timeout_seconds, (int, float))
+            and not isinstance(self.timeout_seconds, bool)
+            and self.timeout_seconds > 0
+        ):
+            raise ValidationError(
+                f"timeout_seconds must be a positive number or None, "
+                f"got {self.timeout_seconds!r}"
+            )
+        for name in ("timeout_multiplier", "timeout_floor", "backoff_seconds"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ) or value < 0:
+                raise ValidationError(
+                    f"{name} must be a non-negative number, got "
+                    f"{value!r}"
+                )
+        _require_int("max_retries", self.max_retries, 0)
+
+    def deadline(self, predicted_seconds: float) -> float:
+        """The per-attempt deadline for a task of this predicted size."""
+        if self.timeout_seconds is not None:
+            return float(self.timeout_seconds)
+        return max(
+            self.timeout_floor,
+            self.timeout_multiplier * predicted_seconds,
+        )
 
 
 @dataclass(frozen=True)
@@ -111,6 +203,13 @@ class PlanOptions:
             :meth:`~repro.core.streaming.StandingQuery.tick`); the
             delegated plan is flagged ``auto_streamed`` in
             ``explain()`` output.
+        supervisor: fault-tolerance knobs of the process dispatch
+            (per-task deadlines, retries, degradation); ``None`` uses
+            :class:`SupervisorPolicy`'s defaults.
+        faults: a :class:`~repro.exec.faults.FaultInjector` threaded
+            through execution for deterministic chaos testing
+            (``None`` -- the production value -- costs one attribute
+            check per hook site).
     """
 
     method: Optional[str] = None
@@ -124,6 +223,8 @@ class PlanOptions:
     seed: Optional[int] = None
     cost_model: Optional["CostModel"] = None
     auto_stream: bool = False
+    supervisor: Optional[SupervisorPolicy] = None
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.method is not None and self.method not in _ALL_METHODS:
@@ -131,17 +232,19 @@ class PlanOptions:
                 f"unknown method {self.method!r}; expected one of "
                 f"{_ALL_METHODS}"
             )
-        if self.n_samples < 1:
-            raise QueryError(
-                f"n_samples must be positive, got {self.n_samples}"
-            )
-        if self.max_workers is not None and self.max_workers < 1:
-            raise QueryError(
-                f"max_workers must be positive, got {self.max_workers}"
+        _require_int("n_samples", self.n_samples, 1)
+        if self.max_workers is not None:
+            _require_int("max_workers", self.max_workers, 1)
+        if self.supervisor is not None and not isinstance(
+            self.supervisor, SupervisorPolicy
+        ):
+            raise ValidationError(
+                f"supervisor must be a SupervisorPolicy, got "
+                f"{self.supervisor!r}"
             )
         if self.dispatch is not None:
             if self.dispatch not in _DISPATCH_MODES:
-                raise QueryError(
+                raise ValidationError(
                     f"unknown dispatch {self.dispatch!r}; expected one "
                     f"of {_DISPATCH_MODES}"
                 )
@@ -298,6 +401,26 @@ class CostModel:
         fields["calibrated_from"] = path
         fields.update(overrides)
         return cls(**fields)
+
+    #: seconds one default (uncalibrated) cost unit roughly buys --
+    #: the default coefficients count "operations", and ~2 ns per
+    #: operation is the right order of magnitude for the sparse
+    #: kernels on any recent CPU.  Only used to price supervision
+    #: deadlines, which carry a generous multiplier and floor anyway.
+    DEFAULT_UNIT_SECONDS = 2e-9
+
+    def predict_seconds(self, cost: float) -> float:
+        """Estimated wall seconds of work costing ``cost`` model units.
+
+        Calibrated coefficients (:meth:`from_calibration`) are
+        seconds-per-unit-load, so the cost *is* seconds; the
+        structural defaults are abstract operation counts and are
+        converted at :data:`DEFAULT_UNIT_SECONDS`.  The supervised
+        dispatch layer prices per-task deadlines from this.
+        """
+        if self.calibrated_from is not None:
+            return float(cost)
+        return float(cost) * self.DEFAULT_UNIT_SECONDS
 
     def qb_cost(self, features: "GroupFeatures") -> float:
         """One shared backward pass (unless cached) + one dot/object."""
@@ -479,6 +602,11 @@ class QueryPlan:
         auto_streamed: this plan was executed by a standing query a
             :attr:`PlanOptions.auto_stream` evaluation transparently
             delegated to.
+        degradations: recovery events of this execution -- supervisor
+            retries ("pool rebuilt after worker crash ..."), and tier
+            falls ("process -> thread: ...").  Empty on a clean run;
+            rendered by :meth:`describe` so ``explain()`` shows how
+            the exact answer was actually obtained.
     """
 
     kind: str
@@ -499,6 +627,7 @@ class QueryPlan:
     )
     semantics: Optional[str] = None
     auto_streamed: bool = False
+    degradations: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.semantics is None:
@@ -570,6 +699,8 @@ class QueryPlan:
                 + (f", {stage.detail}" if stage.detail else "")
                 + ")"
             )
+        for event in self.degradations:
+            lines.append(f"  degraded : {event}")
         if self.operator_seconds:
             parts = []
             for name, stats in sorted(self.operator_seconds.items()):

@@ -60,6 +60,21 @@ observation lands at or inside the window fall back to the exact
 batched :func:`~repro.core.batch.batch_ktimes_distribution` kernel
 until the window slides past them; multi-observation objects are
 rejected, matching the batch pipeline's Definition 4 semantics.
+
+**Transactional ticks.**  A :meth:`StandingQuery.tick` either fully
+commits -- ladder rungs extended, journal cursor advanced, tick
+counter and window offset moved -- or rolls back to the pre-tick state
+and re-raises: a snapshot of every mutable field (cheap pointer
+copies; ladder vectors are never mutated in place) is restored on any
+exception, so a failed tick can simply be retried and resyncs from
+the database journal.  A standing query that keeps failing
+(``quarantine_after`` consecutive tick failures, default 3) is
+*quarantined* with the error recorded on :attr:`StandingQuery.error`;
+ticking it raises
+:class:`~repro.core.errors.QuarantinedQueryError` until
+:meth:`StandingQuery.reset` rebuilds it from the database, and
+:meth:`StreamingQueryEngine.tick_all` skips it instead of letting one
+poisoned query take down the whole engine.
 """
 
 from __future__ import annotations
@@ -76,7 +91,7 @@ from repro.core.batch import (
     batch_ktimes_distribution,
     batch_qb_exists,
 )
-from repro.core.errors import QueryError
+from repro.core.errors import QuarantinedQueryError, QueryError
 from repro.core.plan_cache import PlanCache
 from repro.core.planner import (
     GroupFeatures,
@@ -163,6 +178,17 @@ class _StartGroup:
         self._stacked = None
         return True
 
+    def clone(self) -> "_StartGroup":
+        """A rollback copy: fresh lists, shared immutable elements."""
+        twin = _StartGroup(self.start)
+        twin.ids = list(self.ids)
+        twin.distributions = list(self.distributions)
+        twin.initials = list(self.initials)
+        twin._supports = list(self._supports)
+        twin._weights = list(self._weights)
+        twin._stacked = self._stacked
+        return twin
+
     def answers(self, column: np.ndarray) -> np.ndarray:
         """Per-object answers: the stacked pdfs times the column.
 
@@ -237,6 +263,38 @@ class _ChainStream:
         self.rel: Dict[int, np.ndarray] = {}
         self._touched: set = set()  # gaps referenced this tick
         self.matvecs = 0  # sparse products spent, for EXPLAIN output
+
+    # ------------------------------------------------------------------
+    # transactional snapshot
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        """Every mutable field, copied one level deep.
+
+        Shallow copies suffice: ladder rungs, posteriors and support
+        arrays are replaced wholesale, never mutated in place, so a
+        restored dict points at the untouched pre-tick values.
+        """
+        return {
+            "groups": {
+                start: group.clone()
+                for start, group in self.groups.items()
+            },
+            "multis": dict(self.multis),
+            "singles": dict(self.singles),
+            "posteriors": dict(self.posteriors),
+            "rel": dict(self.rel),
+            "touched": set(self._touched),
+            "matvecs": self.matvecs,
+        }
+
+    def _restore(self, state: dict) -> None:
+        self.groups = state["groups"]
+        self.multis = state["multis"]
+        self.singles = state["singles"]
+        self.posteriors = state["posteriors"]
+        self.rel = state["rel"]
+        self._touched = state["touched"]
+        self.matvecs = state["matvecs"]
 
     # ------------------------------------------------------------------
     # membership
@@ -622,7 +680,13 @@ class StandingQuery:
     Attributes:
         query: the base (tick-0) query.
         stride: timestamps the window advances per tick.
-        ticks: completed ticks.
+        ticks: committed ticks (a rolled-back tick does not count).
+        resyncs: full rebuilds from the database (journal overflow or
+            chain replacement).
+        quarantined: True after ``quarantine_after`` consecutive tick
+            failures; :meth:`tick` then raises
+            :class:`~repro.core.errors.QuarantinedQueryError` until
+            :meth:`reset`.
     """
 
     def __init__(
@@ -630,10 +694,17 @@ class StandingQuery:
         engine: "StreamingQueryEngine",
         query: PSTQuery,
         stride: int = 1,
+        faults=None,
+        quarantine_after: int = 3,
     ) -> None:
         if stride < 1:
             raise QueryError(
                 f"stride must be positive, got {stride}"
+            )
+        if quarantine_after < 1:
+            raise QueryError(
+                f"quarantine_after must be positive, got "
+                f"{quarantine_after}"
             )
         self.kind = "exists"
         self.k: Optional[int] = None
@@ -665,10 +736,16 @@ class StandingQuery:
         self.query = query
         self.stride = int(stride)
         self.ticks = 0
+        self.faults = faults
+        self.quarantine_after = int(quarantine_after)
+        self.quarantined = False
+        self.resyncs = 0
+        self._failures = 0  # consecutive rolled-back ticks
+        self._error: Optional[str] = None
         # per-tick operator timing sink (reset by every tick; the
         # executed plan carries the tick's per-operator totals)
         self.context = ExecutionContext(
-            engine.plan_cache, engine.backend
+            engine.plan_cache, engine.backend, faults=faults
         )
         self._offset = 0
         self._base = SpatioTemporalWindow(self.region, query.times)
@@ -691,6 +768,11 @@ class StandingQuery:
         """The window the *next* tick will evaluate."""
         return _shift_window(self.query.window, self._offset)
 
+    @property
+    def error(self) -> Optional[str]:
+        """The recorded error of the last rolled-back tick, if any."""
+        return self._error
+
     def tick(self) -> "QueryResult":
         """Evaluate the current window, then slide it by ``stride``.
 
@@ -700,65 +782,99 @@ class StandingQuery:
         the test suite), with the executed plan carrying a
         ``streaming`` stage whose detail records the tick number, the
         candidate delta, and the sparse products spent.
+
+        The tick is transactional: on any exception every mutable
+        field (ladder rungs, journal cursor, membership, tick counter,
+        window offset) is restored to its pre-tick state and the
+        exception re-raised -- the query is never left half-patched,
+        and the next tick resyncs from the database journal.  After
+        ``quarantine_after`` consecutive failures the query is
+        quarantined and raises
+        :class:`~repro.core.errors.QuarantinedQueryError` until
+        :meth:`reset`.
         """
         from repro.core.engine import QueryResult
 
+        if self.quarantined:
+            raise QuarantinedQueryError(
+                f"standing query is quarantined after "
+                f"{self._failures} consecutive tick failures "
+                f"(last error: {self._error}); call reset() to "
+                f"rebuild it from the database"
+            )
+        snapshot = self._snapshot()
         started = _time.perf_counter()
         self.context = ExecutionContext(
-            self.engine.plan_cache, self.engine.backend
+            self.engine.plan_cache, self.engine.backend,
+            faults=self.faults,
         )
-        self._sync()
-        window = _shift_window(self._base, self._offset)
-        matvecs_before = sum(
-            stream.matvecs for stream in self._chains.values()
-        )
-        values: Dict[str, float] = {}
-        counters = {"stream": 0, "fallback": 0, "multi": 0}
-        stage_started = _time.perf_counter()
-        for stream in self._chains.values():
-            chain_values, chain_counters = stream.evaluate(window)
-            values.update(chain_values)
-            for key, count in chain_counters.items():
-                counters[key] += count
-        if self.complemented:
-            values = {
-                object_id: 1.0 - value
-                for object_id, value in values.items()
-            }
-        if self.kind == "ktimes" and self.k is not None:
-            # a fixed k asks for one scalar, exactly like evaluate()
-            values = {
-                object_id: float(distribution[self.k])
-                for object_id, distribution in values.items()
-            }
-        evaluate_seconds = _time.perf_counter() - stage_started
+        try:
+            self._sync()
+            if self.faults is not None:
+                self.faults.fire("streaming:tick", tick=self.ticks)
+            window = _shift_window(self._base, self._offset)
+            matvecs_before = sum(
+                stream.matvecs for stream in self._chains.values()
+            )
+            values: Dict[str, float] = {}
+            counters = {"stream": 0, "fallback": 0, "multi": 0}
+            stage_started = _time.perf_counter()
+            for stream in self._chains.values():
+                chain_values, chain_counters = stream.evaluate(window)
+                values.update(chain_values)
+                for key, count in chain_counters.items():
+                    counters[key] += count
+            if self.complemented:
+                values = {
+                    object_id: 1.0 - value
+                    for object_id, value in values.items()
+                }
+            if self.kind == "ktimes" and self.k is not None:
+                # a fixed k asks for one scalar, like evaluate()
+                values = {
+                    object_id: float(distribution[self.k])
+                    for object_id, distribution in values.items()
+                }
+            evaluate_seconds = _time.perf_counter() - stage_started
 
-        # drop ladder rungs no live start time can reference -- the
-        # memory bound the eviction regression test asserts
-        rungs_evicted = sum(
-            stream.evict_ladder()
-            for stream in self._chains.values()
-        )
-        previously_active = self._active
-        self._active = bisect.bisect_right(
-            self._thresholds, window.t_end
-        )
-        matvecs = sum(
-            stream.matvecs for stream in self._chains.values()
-        ) - matvecs_before
-        plan = self._build_plan(
-            window,
-            n_total=len(values),
-            entered=self._active - previously_active,
-            matvecs=matvecs,
-            counters=counters,
-            evaluate_seconds=evaluate_seconds,
-            rungs_evicted=rungs_evicted,
-        )
-        self._last_plan = plan
-        evaluated = _shift_window(self.query.window, self._offset)
-        self.ticks += 1
-        self._offset += self.stride
+            # drop ladder rungs no live start time can reference --
+            # the memory bound the eviction regression test asserts
+            rungs_evicted = sum(
+                stream.evict_ladder()
+                for stream in self._chains.values()
+            )
+            previously_active = self._active
+            self._active = bisect.bisect_right(
+                self._thresholds, window.t_end
+            )
+            matvecs = sum(
+                stream.matvecs for stream in self._chains.values()
+            ) - matvecs_before
+            plan = self._build_plan(
+                window,
+                n_total=len(values),
+                entered=self._active - previously_active,
+                matvecs=matvecs,
+                counters=counters,
+                evaluate_seconds=evaluate_seconds,
+                rungs_evicted=rungs_evicted,
+            )
+            if self.faults is not None:
+                self.faults.fire("streaming:commit", tick=self.ticks)
+            # ---- commit point: everything below is rollback-free ----
+            self._last_plan = plan
+            evaluated = _shift_window(self.query.window, self._offset)
+            self.ticks += 1
+            self._offset += self.stride
+        except Exception as exc:
+            self._restore(snapshot)
+            self._failures += 1
+            self._error = f"{type(exc).__name__}: {exc}"
+            if self._failures >= self.quarantine_after:
+                self.quarantined = True
+            raise
+        self._failures = 0
+        self._error = None
         return QueryResult(
             # replace() keeps query-type-specific fields (e.g. the
             # fixed k of a PSTKTimesQuery) on the slid window
@@ -769,6 +885,19 @@ class StandingQuery:
             plan=plan,
         )
 
+    def reset(self) -> "StandingQuery":
+        """Revive a quarantined query: rebuild from the database.
+
+        Clears the failure record and re-derives every chain stream,
+        threshold and ladder from current database state (the same
+        path a journal overflow takes); returns self for chaining.
+        """
+        self._failures = 0
+        self._error = None
+        self.quarantined = False
+        self._rebuild()
+        return self
+
     def explain(self) -> QueryPlan:
         """The plan executed by the most recent :meth:`tick`."""
         if self._last_plan is None:
@@ -776,6 +905,40 @@ class StandingQuery:
                 "no tick has run yet; call tick() before explain()"
             )
         return self._last_plan
+
+    # ------------------------------------------------------------------
+    # transactional snapshot
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> dict:
+        """Pre-tick copy of all mutable state, one level deep."""
+        return {
+            "ticks": self.ticks,
+            "offset": self._offset,
+            "synced": self._synced_version,
+            "active": self._active,
+            "resyncs": self.resyncs,
+            "thresholds": list(self._thresholds),
+            "threshold_by_id": dict(self._threshold_by_id),
+            "last_plan": self._last_plan,
+            "chains": dict(self._chains),
+            "chain_states": {
+                chain_id: stream._snapshot()
+                for chain_id, stream in self._chains.items()
+            },
+        }
+
+    def _restore(self, state: dict) -> None:
+        self.ticks = state["ticks"]
+        self._offset = state["offset"]
+        self._synced_version = state["synced"]
+        self._active = state["active"]
+        self.resyncs = state["resyncs"]
+        self._thresholds = state["thresholds"]
+        self._threshold_by_id = state["threshold_by_id"]
+        self._last_plan = state["last_plan"]
+        self._chains = state["chains"]
+        for chain_id, stream in self._chains.items():
+            stream._restore(state["chain_states"][chain_id])
 
     # ------------------------------------------------------------------
     # internals
@@ -854,6 +1017,13 @@ class StandingQuery:
                 self._track(obj)
 
     def _rebuild(self) -> None:
+        """Re-derive all streaming state from current database state.
+
+        The recovery path for journal overflow ("the bounded journal
+        no longer covers our last sync"), chain replacement, and
+        :meth:`reset` after quarantine; ``resyncs`` counts these.
+        """
+        self.resyncs += 1
         self._chains = {}
         self._threshold_by_id = {}
         self._thresholds = []
@@ -964,11 +1134,58 @@ class StreamingQueryEngine:
             plan_cache if plan_cache is not None else PlanCache()
         )
         self.pruner = pruner or ReachabilityPruner(database)
+        self._standing: List[StandingQuery] = []
+
+    @property
+    def standing(self) -> Tuple[StandingQuery, ...]:
+        """Every standing query registered through :meth:`watch`."""
+        return tuple(self._standing)
 
     def watch(
-        self, query: PSTQuery, stride: int = 1
+        self,
+        query: PSTQuery,
+        stride: int = 1,
+        faults=None,
+        quarantine_after: int = 3,
     ) -> StandingQuery:
         """Register a standing query; every :meth:`StandingQuery.tick`
         evaluates the current window and slides it ``stride`` forward.
+
+        ``faults`` threads a
+        :class:`~repro.exec.faults.FaultInjector` through the query's
+        ticks; ``quarantine_after`` consecutive failed (rolled-back)
+        ticks quarantine the query instead of failing forever.
         """
-        return StandingQuery(self, query, stride=stride)
+        standing = StandingQuery(
+            self,
+            query,
+            stride=stride,
+            faults=faults,
+            quarantine_after=quarantine_after,
+        )
+        self._standing.append(standing)
+        return standing
+
+    def tick_all(self) -> List[Optional["QueryResult"]]:
+        """Tick every registered standing query; never raises.
+
+        Returns one entry per registered query, in registration
+        order: the tick's :class:`~repro.core.engine.QueryResult`, or
+        ``None`` for a query that is quarantined or whose tick rolled
+        back this round.  A failing query records its error
+        (:attr:`StandingQuery.error`) and, after its
+        ``quarantine_after`` threshold, stops being ticked -- one
+        poisoned query cannot take down the other standing queries.
+        """
+        results: List[Optional["QueryResult"]] = []
+        for standing in self._standing:
+            if standing.quarantined:
+                results.append(None)
+                continue
+            try:
+                results.append(standing.tick())
+            except Exception:
+                # rolled back and recorded on the standing query; the
+                # remaining queries still get their tick
+                results.append(None)
+        return results

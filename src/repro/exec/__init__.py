@@ -20,13 +20,26 @@ kernels.  This package is the single home of those kernels:
 * :mod:`repro.exec.dispatch` -- serial / thread-pool / process-pool
   dispatch of operator work, with CSR matrices and stacked state
   vectors published once into :mod:`multiprocessing.shared_memory`
-  and rebuilt pickle-free on the worker side;
+  and rebuilt pickle-free on the worker side, run under a supervisor
+  (cost-priced deadlines, retry with pool rebuild, tier degradation)
+  with a startup janitor for segments leaked by crashed sessions;
+* :mod:`repro.exec.faults` -- deterministic fault injection
+  (:class:`~repro.exec.faults.FaultInjector` /
+  :class:`~repro.exec.faults.FaultSpec`) driving the recovery paths
+  on demand in the fault-tolerance test suite;
 * :mod:`repro.exec.calibrate` -- measures each operator over a
   parameter grid and least-squares-fits the
   :class:`~repro.core.planner.CostModel` coefficients so the planner's
   choices reflect the hardware it actually runs on.
 """
 
+from repro.exec.dispatch import (
+    SegmentInfo,
+    list_segments,
+    memory_stats,
+    sweep_orphans,
+)
+from repro.exec.faults import FaultInjector, FaultSpec
 from repro.exec.operators import (
     BACKWARD_SWEEP,
     BFS_PRUNE,
@@ -73,4 +86,10 @@ __all__ = [
     "PosteriorCollapse",
     "Prefilter",
     "SweepSchedule",
+    "FaultInjector",
+    "FaultSpec",
+    "SegmentInfo",
+    "list_segments",
+    "memory_stats",
+    "sweep_orphans",
 ]

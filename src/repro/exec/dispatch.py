@@ -24,23 +24,49 @@ The public surface is :func:`run_groups_in_processes`, called by
 ``PlanOptions.dispatch="process"``) selects process dispatch, and
 :func:`shutdown`, which drains the pool and unlinks every published
 segment (also registered via :mod:`atexit`).
+
+**Fault tolerance.**  Task submission runs under a supervisor: every
+shard gets a deadline priced from the calibrated cost model, a worker
+crash (``BrokenProcessPool``) rebuilds the pool and resubmits only the
+unfinished shards with exponential backoff, and a hung task tears the
+poisoned pool down instead of stalling the query.  Exhausted retries
+raise :class:`~repro.core.errors.WorkerCrashError` /
+:class:`~repro.core.errors.TaskTimeoutError` /
+:class:`~repro.core.errors.SegmentLostError`, which the pipeline
+catches to degrade process -> thread -> serial -- the query still
+returns the exact answer.  Every published segment is named
+``repro-<session>-<pid>-<seq>`` so the startup *janitor*
+(:func:`sweep_orphans`, run on every pool build and by ``repro-bench
+doctor``) can identify and unlink segments leaked by crashed sessions,
+and :func:`memory_stats` accounts for this session's live bytes.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
 import threading
 import time as _time
+import zlib
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as _wait_futures
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace as _dc_replace
 from multiprocessing import get_context, shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
+from uuid import uuid4
 
 import numpy as np
 
-from repro.core.errors import BackendError
+from repro.core.errors import (
+    BackendError,
+    ExecutionError,
+    SegmentLostError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 
 try:  # process dispatch needs the scipy backend's CSR layout
     import scipy.sparse as _sp
@@ -54,6 +80,10 @@ __all__ = [
     "publish_csr",
     "attach_csr",
     "SharedCSR",
+    "SegmentInfo",
+    "list_segments",
+    "sweep_orphans",
+    "memory_stats",
 ]
 
 
@@ -68,24 +98,57 @@ def process_dispatch_available() -> bool:
 #: (segment name, shape, dtype string) -- everything needed to attach.
 ArrayMeta = Tuple[str, Tuple[int, ...], str]
 
+# Every segment this session publishes is named
+# ``repro-<session>-<pid>-<seq>`` (short enough for macOS's 31-char
+# PSHM limit).  The embedded PID is what makes leaks *attributable*:
+# the janitor can tell a dead session's orphan from a live neighbour's
+# working set and sweep only the former.
+_SESSION_ID = uuid4().hex[:8]
+_SEGMENT_COUNTER = itertools.count()
+_SEGMENT_PREFIX = "repro-"
+_SHM_DIR = "/dev/shm"
+
+
+def _segment_name() -> str:
+    return (
+        f"{_SEGMENT_PREFIX}{_SESSION_ID}-{os.getpid()}-"
+        f"{next(_SEGMENT_COUNTER)}"
+    )
+
 
 @dataclass(frozen=True)
 class SharedCSR:
-    """The metadata of one CSR matrix published to shared memory."""
+    """The metadata of one CSR matrix published to shared memory.
+
+    ``checksum`` is the CRC-32 of the three payload buffers at
+    publication time; workers re-verify it on attach when the
+    supervisor policy asks (``verify_segments``), so a corrupted
+    segment fails loudly as
+    :class:`~repro.core.errors.SegmentLostError` instead of silently
+    producing wrong probabilities.
+    """
 
     data: ArrayMeta
     indices: ArrayMeta
     indptr: ArrayMeta
     shape: Tuple[int, int]
+    checksum: Optional[int] = None
 
 
 def _publish_array(
     array: np.ndarray, segments: List[shared_memory.SharedMemory]
 ) -> ArrayMeta:
     array = np.ascontiguousarray(array)
-    segment = shared_memory.SharedMemory(
-        create=True, size=max(1, array.nbytes)
-    )
+    while True:
+        try:
+            segment = shared_memory.SharedMemory(
+                name=_segment_name(),
+                create=True,
+                size=max(1, array.nbytes),
+            )
+            break
+        except FileExistsError:  # pragma: no cover - counter collision
+            continue
     segments.append(segment)
     view = np.ndarray(
         array.shape, dtype=array.dtype, buffer=segment.buf
@@ -100,13 +163,22 @@ def _attach_array(meta: ArrayMeta) -> np.ndarray:
     return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
 
 
+def _csr_checksum(arrays: Sequence[np.ndarray]) -> int:
+    crc = 0
+    for array in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(array), crc)
+    return crc
+
+
 def publish_csr(
     matrix, segments: List[shared_memory.SharedMemory]
 ) -> SharedCSR:
     """Publish one ``scipy.sparse.csr_matrix`` into shared memory.
 
     The three CSR arrays become one segment each; ``segments``
-    collects the handles so the owner can unlink them later.
+    collects the handles so the owner can unlink them later.  The
+    returned handle carries a payload checksum for optional
+    verification on attach.
     """
     if _sp is None or not _sp.issparse(matrix):
         raise BackendError(
@@ -118,22 +190,36 @@ def publish_csr(
         indices=_publish_array(csr.indices, segments),
         indptr=_publish_array(csr.indptr, segments),
         shape=tuple(csr.shape),
+        checksum=_csr_checksum((csr.data, csr.indices, csr.indptr)),
     )
 
 
-def attach_csr(handle: SharedCSR):
+def attach_csr(handle: SharedCSR, verify: bool = False):
     """Rebuild a CSR matrix as zero-copy views over shared memory.
 
     The returned matrix shares its buffers with every other process
     attached to the same segments; consumers must treat it as
-    immutable (the plan cache's artefacts already are).
+    immutable (the plan cache's artefacts already are).  With
+    ``verify=True`` the payload is re-checksummed against the
+    publication checksum and a mismatch raises
+    :class:`~repro.core.errors.SegmentLostError`.
     """
+    arrays = (
+        _attach_array(handle.data),
+        _attach_array(handle.indices),
+        _attach_array(handle.indptr),
+    )
+    if verify and handle.checksum is not None:
+        observed = _csr_checksum(arrays)
+        if observed != handle.checksum:
+            raise SegmentLostError(
+                f"segment {handle.data[0]} failed checksum "
+                f"verification (published {handle.checksum:#010x}, "
+                f"observed {observed:#010x}); the publisher's pages "
+                f"were corrupted or re-used"
+            )
     matrix = _sp.csr_matrix(
-        (
-            _attach_array(handle.data),
-            _attach_array(handle.indices),
-            _attach_array(handle.indptr),
-        ),
+        arrays,
         shape=handle.shape,
         copy=False,
     )
@@ -167,7 +253,16 @@ def _attached_segment(name: str) -> shared_memory.SharedMemory:
         # tracker, where registration is idempotent and the parent's
         # unlink() unregisters exactly once -- so no extra
         # bookkeeping is needed (or safe) here.
-        segment = shared_memory.SharedMemory(name=name)
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as exc:
+            # the publisher unlinked (or a janitor swept) the segment
+            # between task submission and attach; the supervisor
+            # republishes and retries on this specific error
+            raise SegmentLostError(
+                f"shared-memory segment {name!r} vanished before "
+                f"attach"
+            ) from exc
         _SEGMENTS[name] = segment
         overflow = len(_SEGMENTS) - _SEGMENTS_CAP
         while overflow > 0:
@@ -313,6 +408,34 @@ class _Publisher:
         segments: List[shared_memory.SharedMemory] = []
         return publish_csr(csr, segments), segments
 
+    def live_bytes(self) -> int:
+        """Total ``/dev/shm`` bytes held by cached publications."""
+        with self._lock:
+            return sum(
+                segment.size
+                for cache in (self._chains, self._absorbing)
+                for _handles, segments in cache.values()
+                for segment in segments
+            )
+
+    def forget(self) -> None:
+        """Unlink every cached publication, pinned or not.
+
+        Called when a worker reports a lost/corrupt segment: none of
+        the cached handles can be trusted any more (the corruption is
+        not attributable to one entry), so the next query republishes
+        from the parent's matrices.  Dropping pinned entries is safe:
+        any other in-flight dispatch whose worker loses the segment
+        mid-attach fails with the same supervised
+        :class:`~repro.core.errors.SegmentLostError` and degrades to
+        an exact lower tier.
+        """
+        with self._lock:
+            for cache in (self._chains, self._absorbing):
+                for _handles, segments in cache.values():
+                    _unlink_segments(segments)
+                cache.clear()
+
     def close(self) -> None:
         with self._lock:
             for cache in (self._chains, self._absorbing):
@@ -325,6 +448,7 @@ _PUBLISHER: Optional[_Publisher] = None
 _EXECUTOR: Optional[ProcessPoolExecutor] = None
 _EXECUTOR_WORKERS = 0
 _EXECUTOR_ACTIVE = 0  # dispatch calls currently using the pool
+_EXECUTOR_BROKEN = False  # poisoned by a crash/timeout; rebuild next
 _POOL_LOCK = threading.Lock()
 
 
@@ -336,56 +460,219 @@ def _publisher() -> _Publisher:
         return _PUBLISHER
 
 
-def _acquire_executor(max_workers: int) -> ProcessPoolExecutor:
+def _build_pool(max_workers: int) -> ProcessPoolExecutor:
+    try:
+        context = get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        context = get_context("spawn")
+    # every pool build doubles as janitor duty: segments leaked by a
+    # crashed earlier session are swept before this one adds its own
+    try:
+        sweep_orphans()
+    except OSError:  # pragma: no cover - exotic /dev/shm perms
+        pass
+    return ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=context
+    )
+
+
+def _acquire_executor(
+    max_workers: int,
+) -> Tuple[ProcessPoolExecutor, bool]:
     """A persistent fork-based pool, grown on demand, refcounted.
 
     Fork keeps worker start-up at milliseconds (the parent's imports
     are inherited); platforms without fork fall back to spawn.  The
-    pool is only replaced (to grow) while no other dispatch call is
-    in flight -- a concurrent caller keeps the existing (smaller)
-    pool rather than having its futures cancelled under it.  Pair
-    every call with :func:`_release_executor`.
+    shared pool is only replaced (to grow, or after
+    :func:`_invalidate_executor` marked it broken) while no other
+    dispatch call is in flight -- a concurrent caller would have its
+    futures cancelled under it.  A caller that needs a pool while the
+    shared one is broken *and* busy gets a private throwaway pool
+    instead of the poisoned one.
+
+    Returns ``(executor, owned)``; pass both to
+    :func:`_release_executor` (an owned pool is shut down there).
     """
     global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_ACTIVE
+    global _EXECUTOR_BROKEN
     with _POOL_LOCK:
-        needs_growth = (
-            _EXECUTOR is None or _EXECUTOR_WORKERS < max_workers
+        needs_rebuild = (
+            _EXECUTOR is None
+            or _EXECUTOR_BROKEN
+            or _EXECUTOR_WORKERS < max_workers
         )
-        if needs_growth and _EXECUTOR_ACTIVE == 0:
+        if needs_rebuild and _EXECUTOR_ACTIVE == 0:
             if _EXECUTOR is not None:
-                _EXECUTOR.shutdown(wait=True, cancel_futures=True)
-            try:
-                context = get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX
-                context = get_context("spawn")
-            _EXECUTOR = ProcessPoolExecutor(
-                max_workers=max_workers, mp_context=context
-            )
-            _EXECUTOR_WORKERS = max_workers
+                # a broken pool may contain hung workers: never block
+                # on them, just abandon and let SIGKILL/atexit reap
+                _EXECUTOR.shutdown(
+                    wait=not _EXECUTOR_BROKEN, cancel_futures=True
+                )
+            workers = max(max_workers, _EXECUTOR_WORKERS)
+            _EXECUTOR = _build_pool(workers)
+            _EXECUTOR_WORKERS = workers
+            _EXECUTOR_BROKEN = False
+        elif _EXECUTOR_BROKEN:
+            # shared pool is poisoned but another dispatch call still
+            # holds it: serve this caller from a private pool
+            return _build_pool(max_workers), True
         _EXECUTOR_ACTIVE += 1
-        return _EXECUTOR
+        return _EXECUTOR, False
 
 
-def _release_executor() -> None:
+def _release_executor(
+    executor: Optional[ProcessPoolExecutor] = None,
+    owned: bool = False,
+) -> None:
     global _EXECUTOR_ACTIVE
+    if owned:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return
     with _POOL_LOCK:
         _EXECUTOR_ACTIVE -= 1
 
 
-def shutdown() -> None:
-    """Drain the worker pool and unlink every published segment."""
-    global _EXECUTOR, _EXECUTOR_WORKERS, _PUBLISHER
+def _invalidate_executor(executor: ProcessPoolExecutor) -> None:
+    """Mark the shared pool poisoned so the next acquire rebuilds it.
+
+    Called by the supervisor after a crash or timeout.  If the caller
+    was using a private (owned) pool this is a no-op for the shared
+    state -- comparing identities keeps a stale invalidation from
+    condemning a healthy replacement pool.
+    """
+    global _EXECUTOR_BROKEN
     with _POOL_LOCK:
-        if _EXECUTOR is not None:
-            _EXECUTOR.shutdown(wait=True, cancel_futures=True)
-            _EXECUTOR = None
-            _EXECUTOR_WORKERS = 0
+        if executor is _EXECUTOR:
+            _EXECUTOR_BROKEN = True
+
+
+def shutdown() -> None:
+    """Drain the worker pool and unlink every published segment.
+
+    Idempotent and safe after worker death: a second call (or a call
+    racing the :mod:`atexit` hook) finds the globals already cleared
+    and returns; a broken pool is abandoned without waiting on
+    workers that will never drain.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS, _EXECUTOR_BROKEN, _PUBLISHER
+    with _POOL_LOCK:
+        executor, _EXECUTOR = _EXECUTOR, None
+        broken, _EXECUTOR_BROKEN = _EXECUTOR_BROKEN, False
+        _EXECUTOR_WORKERS = 0
         publisher, _PUBLISHER = _PUBLISHER, None
+    if executor is not None:
+        try:
+            executor.shutdown(wait=not broken, cancel_futures=True)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
     if publisher is not None:
         publisher.close()
 
 
 atexit.register(shutdown)
+
+
+# ----------------------------------------------------------------------
+# shared-memory janitor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One ``repro-`` shared-memory segment found on this machine."""
+
+    name: str
+    pid: int
+    size: int
+    alive: bool  # does the owning process still exist?
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    return True
+
+
+def list_segments(shm_dir: str = _SHM_DIR) -> List[SegmentInfo]:
+    """Every ``repro-*`` segment in ``/dev/shm``, with owner liveness.
+
+    Only meaningful on platforms backing POSIX shared memory with a
+    tmpfs directory (Linux); elsewhere the scan finds nothing and the
+    janitor is a no-op -- leaked segments there are reclaimed by the
+    OS at reboot, which is also the platform's own guarantee.
+    """
+    found: List[SegmentInfo] = []
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except (FileNotFoundError, NotADirectoryError):
+        return found
+    for name in names:
+        if not name.startswith(_SEGMENT_PREFIX):
+            continue
+        parts = name.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue  # not our naming scheme; leave it alone
+        try:
+            size = os.stat(os.path.join(shm_dir, name)).st_size
+        except OSError:
+            continue  # vanished between listdir and stat
+        found.append(
+            SegmentInfo(
+                name=name, pid=pid, size=size, alive=_pid_alive(pid)
+            )
+        )
+    return found
+
+
+def sweep_orphans(shm_dir: str = _SHM_DIR) -> List[SegmentInfo]:
+    """Unlink ``repro-*`` segments whose owning process is dead.
+
+    Runs on every pool build and from ``repro-bench doctor``.  Uses
+    ``os.unlink`` directly rather than attaching through the stdlib:
+    attaching would register the orphan with *this* process's resource
+    tracker and emit leak warnings for a segment we are deliberately
+    destroying.  Returns the segments that were reclaimed.
+    """
+    swept: List[SegmentInfo] = []
+    for info in list_segments(shm_dir):
+        if info.alive:
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, info.name))
+        except FileNotFoundError:
+            continue  # another janitor got there first
+        swept.append(info)
+    return swept
+
+
+def memory_stats() -> Dict[str, int]:
+    """Shared-memory accounting for this session and the machine.
+
+    Returns a dict with ``session_bytes`` (live bytes held by this
+    session's publication cache), ``machine_bytes`` (all ``repro-*``
+    segments on the host), ``orphan_bytes`` (subset owned by dead
+    processes -- what :func:`sweep_orphans` would reclaim) and
+    ``segments`` (machine-wide segment count).
+    """
+    with _POOL_LOCK:
+        publisher = _PUBLISHER
+    session = publisher.live_bytes() if publisher is not None else 0
+    infos = list_segments()
+    return {
+        "session_bytes": session,
+        "machine_bytes": sum(info.size for info in infos),
+        "orphan_bytes": sum(
+            info.size for info in infos if not info.alive
+        ),
+        "segments": len(infos),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -400,6 +687,11 @@ class _ShardTask:
     ``None`` for k-times (``method="ct"``) shards -- the stacked C(t)
     sweep runs on the chain CSR alone, with the visit-count dimension
     living in the worker's stack rather than in an augmented matrix.
+
+    ``attempt`` counts supervisor resubmissions of this shard (0 on
+    first submission); fault-injection specs match on it to fail an
+    attempt and let the retry succeed.  ``verify`` re-checksums
+    attached segments; ``faults`` carries the pickled injector.
     """
 
     fingerprint: str
@@ -416,6 +708,9 @@ class _ShardTask:
     m_plus: Optional[SharedCSR] = None
     m_minus_t: Optional[SharedCSR] = None
     m_plus_t: Optional[SharedCSR] = None
+    attempt: int = 0
+    verify: bool = False
+    faults: Optional[object] = None
 
 
 # worker-local caches, populated lazily after the fork
@@ -438,6 +733,7 @@ def _rehydrate(task: _ShardTask):
     task -- never by object identity -- so the first task of a chain
     rehydrates and every later task (and every later query) hits.
     k-times tasks carry no absorbing handles; ``matrices`` is None.
+    With ``task.verify`` every fresh attach is re-checksummed.
     """
     from repro.core.markov import MarkovChain
     from repro.core.matrices import AbsorbingMatrices
@@ -449,7 +745,10 @@ def _rehydrate(task: _ShardTask):
         "chain", task.fingerprint, frozenset(), task.backend
     )
     if adopted is None:
-        chain = MarkovChain(attach_csr(task.chain), validate=False)
+        chain = MarkovChain(
+            attach_csr(task.chain, verify=task.verify),
+            validate=False,
+        )
         chain._fingerprint_cache = task.fingerprint
         adopted = cache.adopt(
             "chain", task.fingerprint, frozenset(), task.backend, chain
@@ -464,13 +763,13 @@ def _rehydrate(task: _ShardTask):
         rebuilt = AbsorbingMatrices(
             n_states=chain.n_states,
             region=region,
-            m_minus=attach_csr(task.m_minus),
-            m_plus=attach_csr(task.m_plus),
+            m_minus=attach_csr(task.m_minus, verify=task.verify),
+            m_plus=attach_csr(task.m_plus, verify=task.verify),
             backend=get_backend(task.backend),
         )
         rebuilt._transposed = (
-            attach_csr(task.m_minus_t),
-            attach_csr(task.m_plus_t),
+            attach_csr(task.m_minus_t, verify=task.verify),
+            attach_csr(task.m_plus_t, verify=task.verify),
         )
         matrices = cache.adopt(
             "absorbing", task.fingerprint, region, task.backend, rebuilt
@@ -479,7 +778,7 @@ def _rehydrate(task: _ShardTask):
 
 
 def _read_shard_rows(
-    handle: SharedCSR, lo: int, hi: int
+    handle: SharedCSR, lo: int, hi: int, verify: bool = False
 ) -> np.ndarray:
     """Densify rows ``[lo, hi)`` of a per-query stacked CSR; release.
 
@@ -494,13 +793,26 @@ def _read_shard_rows(
         arrays = []
         for meta in (handle.data, handle.indices, handle.indptr):
             name, shape, dtype = meta
-            segment = shared_memory.SharedMemory(name=name)
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError as exc:
+                raise SegmentLostError(
+                    f"stacked-initials segment {name!r} vanished "
+                    f"before attach"
+                ) from exc
             segments.append(segment)
             arrays.append(
                 np.ndarray(
                     shape, dtype=np.dtype(dtype), buffer=segment.buf
                 )
             )
+        if verify and handle.checksum is not None:
+            observed = _csr_checksum(arrays)
+            if observed != handle.checksum:
+                raise SegmentLostError(
+                    f"stacked-initials segment {handle.data[0]} "
+                    f"failed checksum verification"
+                )
         matrix = _sp.csr_matrix(
             tuple(arrays), shape=handle.shape, copy=False
         )
@@ -527,13 +839,23 @@ def _evaluate_shard(task: _ShardTask):
     )
 
     shard_started = _time.perf_counter()
+    if task.faults is not None:
+        task.faults.fire(
+            "worker:shard",
+            row_lo=task.row_lo,
+            fingerprint=task.fingerprint,
+            attempt=task.attempt,
+            pid=os.getpid(),
+        )
     chain, matrices, cache = _rehydrate(task)
     window = SpatioTemporalWindow(
         frozenset(task.region), frozenset(task.times)
     )
-    context = ExecutionContext(cache, task.backend)
+    context = ExecutionContext(
+        cache, task.backend, faults=task.faults
+    )
     rows = _read_shard_rows(
-        task.initials, task.row_lo, task.row_hi
+        task.initials, task.row_lo, task.row_hi, verify=task.verify
     )
     starts = task.starts[task.row_lo:task.row_hi]
 
@@ -623,8 +945,24 @@ def run_groups_in_processes(
     backend: Optional[str] = None,
     plan_cache=None,
     context=None,
+    policy=None,
+    predicted_seconds: Optional[float] = None,
+    faults=None,
 ) -> Tuple[Dict[str, object], List[float]]:
     """Evaluate single-observation chain groups across worker processes.
+
+    Submission runs under a supervisor: every shard attempt gets the
+    deadline priced by ``policy`` from ``predicted_seconds`` (the cost
+    model's estimate for the whole dispatch call), a worker crash or a
+    deadline overrun tears down the poisoned pool, rebuilds it and
+    resubmits only the unfinished shards (with exponential backoff),
+    and exhausted retries raise
+    :class:`~repro.core.errors.WorkerCrashError` /
+    :class:`~repro.core.errors.TaskTimeoutError`.  A lost or corrupt
+    segment raises :class:`~repro.core.errors.SegmentLostError`
+    immediately (a resubmitted task would name the same vanished
+    segment) after dropping the publication cache, so the caller can
+    degrade tiers and the *next* dispatch republishes cleanly.
 
     Args:
         tasks: ``(chain, matrices, objects, method)`` per chain group,
@@ -642,7 +980,15 @@ def run_groups_in_processes(
         backend: linear-algebra backend name.
         plan_cache: parent cache (only used to keep artefacts shared).
         context: parent :class:`~repro.exec.operators.ExecutionContext`
-            receiving the merged worker timings.
+            receiving the merged worker timings and the supervisor's
+            recovery events.
+        policy: :class:`~repro.core.planner.SupervisorPolicy`
+            (defaults are used when ``None``).
+        predicted_seconds: cost-model runtime estimate used to price
+            the per-attempt deadline.
+        faults: optional
+            :class:`~repro.exec.faults.FaultInjector`, threaded into
+            worker tasks and fired at ``dispatch:published``.
 
     Returns:
         ``(values, group_seconds)``: per-object answers across all
@@ -653,13 +999,91 @@ def run_groups_in_processes(
         worker-side wall seconds of its shards (the per-group EXPLAIN
         ANALYZE timing).
     """
+    if policy is None:
+        from repro.core.planner import SupervisorPolicy
+
+        policy = SupervisorPolicy()
+    deadline = policy.deadline(predicted_seconds or 0.0)
+
     publisher = _publisher()
-    executor = _acquire_executor(max_workers)
-    futures = []
+    executor, owned = _acquire_executor(max_workers)
     stack_segments: List[shared_memory.SharedMemory] = []
-    id_slices: List[Tuple[List[str], int]] = []
     group_seconds: List[float] = []
     lease = publisher.acquire()
+
+    shards: List[_ShardTask] = []
+    shard_meta: List[Tuple[List[str], int]] = []  # (ids, task_index)
+    attempts: List[int] = []
+    results: Dict[int, tuple] = {}
+    inflight: Dict[object, int] = {}  # future -> shard index
+    submitted_at: Dict[object, float] = {}
+
+    def _fire_published(handle: Optional[SharedCSR], kind: str) -> None:
+        if faults is not None and handle is not None:
+            faults.fire(
+                "dispatch:published", name=handle.data[0], kind=kind
+            )
+
+    def _submit(index: int) -> None:
+        task = shards[index]
+        if task.attempt != attempts[index]:
+            task = _dc_replace(task, attempt=attempts[index])
+        future = executor.submit(_evaluate_shard, task)
+        inflight[future] = index
+        submitted_at[future] = _time.monotonic()
+
+    def _check_exhausted(index: int, error_type, reason: str) -> None:
+        if attempts[index] <= policy.max_retries:
+            return
+        task = shards[index]
+        raise error_type(
+            f"shard rows [{task.row_lo}, {task.row_hi}) "
+            f"({task.method}) failed after "
+            f"{attempts[index]} retr"
+            f"{'y' if attempts[index] == 1 else 'ies'}: {reason}"
+        )
+
+    def _record(message: str) -> None:
+        if context is not None:
+            context.record_event(message)
+
+    def _backoff(attempt: int) -> None:
+        if policy.backoff_seconds > 0 and attempt > 0:
+            _time.sleep(
+                policy.backoff_seconds * (2 ** (attempt - 1))
+            )
+
+    def _rebuild_pool(culprits: List[int], error_type, reason: str) -> None:
+        """Replace the poisoned pool; resubmit every unfinished shard.
+
+        Only the culprit shards' attempt counters advance -- innocent
+        shards torn down with the pool are resubmitted at their
+        current attempt, so a fault rule matching ``attempt`` stays
+        deterministic per shard.
+        """
+        nonlocal executor, owned
+        # culprits reported through a completed future (worker crash)
+        # are already popped from `inflight`; expired ones are still
+        # in it -- the union covers both paths
+        pending = sorted(set(inflight.values()) | set(culprits))
+        _invalidate_executor(executor)
+        for index in culprits:
+            attempts[index] += 1
+        for index in culprits:
+            _check_exhausted(index, error_type, reason)
+        for future in list(inflight):
+            future.cancel()
+        inflight.clear()
+        submitted_at.clear()
+        _release_executor(executor, owned)
+        executor, owned = _acquire_executor(max_workers)
+        _record(
+            f"worker pool rebuilt ({reason}); resubmitted "
+            f"{len(pending)} shard(s)"
+        )
+        _backoff(max(attempts[index] for index in culprits))
+        for index in pending:
+            _submit(index)
 
     try:
         for task_index, (chain, matrices, objects, method) in enumerate(
@@ -669,10 +1093,12 @@ def run_groups_in_processes(
             if not objects:
                 continue
             fingerprint, chain_handle = publisher.chain(chain, lease)
+            _fire_published(chain_handle, "chain")
             if matrices is not None:
                 minus_h, plus_h, minus_t_h, plus_t_h = (
                     publisher.absorbing(chain, matrices, backend, lease)
                 )
+                _fire_published(minus_h, "absorbing")
             else:  # ct: the chain CSR is the whole matrix payload
                 minus_h = plus_h = minus_t_h = plus_t_h = None
             stacked = _sp.vstack(
@@ -689,6 +1115,7 @@ def run_groups_in_processes(
             )
             stack_handle, segments = publisher.stack(stacked)
             stack_segments.extend(segments)
+            _fire_published(stack_handle, "stack")
             starts = tuple(obj.initial.time for obj in objects)
             ids = [obj.object_id for obj in objects]
 
@@ -709,31 +1136,105 @@ def run_groups_in_processes(
             for lo, hi in zip(bounds[:-1], bounds[1:]):
                 if lo == hi:
                     continue
-                task = _ShardTask(
-                    fingerprint=fingerprint,
-                    chain=chain_handle,
-                    m_minus=minus_h,
-                    m_plus=plus_h,
-                    m_minus_t=minus_t_h,
-                    m_plus_t=plus_t_h,
-                    initials=stack_handle,
-                    row_lo=int(lo),
-                    row_hi=int(hi),
-                    starts=starts,
-                    region=tuple(sorted(window.region)),
-                    times=tuple(sorted(window.times)),
-                    method=method,
-                    backend=backend,
+                shards.append(
+                    _ShardTask(
+                        fingerprint=fingerprint,
+                        chain=chain_handle,
+                        m_minus=minus_h,
+                        m_plus=plus_h,
+                        m_minus_t=minus_t_h,
+                        m_plus_t=plus_t_h,
+                        initials=stack_handle,
+                        row_lo=int(lo),
+                        row_hi=int(hi),
+                        starts=starts,
+                        region=tuple(sorted(window.region)),
+                        times=tuple(sorted(window.times)),
+                        method=method,
+                        backend=backend,
+                        verify=policy.verify_segments,
+                        faults=faults,
+                    )
                 )
-                futures.append(
-                    executor.submit(_evaluate_shard, task)
+                shard_meta.append((ids, task_index))
+                attempts.append(0)
+
+        for index in range(len(shards)):
+            _submit(index)
+
+        # -- supervised collection -----------------------------------
+        while inflight:
+            now = _time.monotonic()
+            expiry = min(
+                submitted_at[future] for future in inflight
+            ) + deadline
+            done, _running = _wait_futures(
+                list(inflight),
+                timeout=max(0.0, expiry - now),
+                return_when=FIRST_COMPLETED,
+            )
+            crashed: List[int] = []
+            retried: List[int] = []
+            for future in done:
+                index = inflight.pop(future)
+                submitted_at.pop(future, None)
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+                except SegmentLostError:
+                    # a retry would name the same vanished segment;
+                    # drop the publication cache so the next dispatch
+                    # republishes, and let the caller degrade tiers
+                    publisher.forget()
+                    raise
+                except ExecutionError as error:
+                    # injected / transient worker-side failure with a
+                    # healthy pool: retry just this shard
+                    attempts[index] += 1
+                    _check_exhausted(
+                        index, WorkerCrashError, str(error)
+                    )
+                    _record(
+                        f"shard rows [{shards[index].row_lo}, "
+                        f"{shards[index].row_hi}) retried after "
+                        f"worker fault (attempt {attempts[index]}): "
+                        f"{error}"
+                    )
+                    retried.append(index)
+            if crashed:
+                # the pool is poisoned: every unfinished future is
+                # doomed, so rebuild once and resubmit them all; the
+                # crashed shards are the culprits
+                _rebuild_pool(
+                    crashed, WorkerCrashError, "worker crash"
                 )
-                id_slices.append((ids, task_index))
+            for index in retried:
+                # after any rebuild, so the retry lands on a live pool
+                _backoff(attempts[index])
+                _submit(index)
+            if crashed:
+                continue
+            now = _time.monotonic()
+            expired = sorted(
+                {
+                    inflight[future]
+                    for future in inflight
+                    if now - submitted_at[future] >= deadline
+                }
+            )
+            if expired:
+                _rebuild_pool(
+                    expired,
+                    TaskTimeoutError,
+                    f"deadline of {deadline:.3g}s exceeded",
+                )
 
         values: Dict[str, object] = {}
-        for future, (ids, task_index) in zip(futures, id_slices):
+        for index in sorted(results):
+            ids, task_index = shard_meta[index]
             row_lo, _row_hi, shard_values, timings, elapsed = (
-                future.result()
+                results[index]
             )
             shard_values = np.asarray(shard_values)
             for offset, answer in enumerate(shard_values):
@@ -750,10 +1251,14 @@ def run_groups_in_processes(
     finally:
         # on an early exception, queued shards are cancelled and
         # running ones drained *before* their segments vanish -- a
-        # worker must never observe a mid-query unlink
-        for future in futures:
+        # worker must never observe a mid-query unlink.  The drain is
+        # bounded: a hung worker's future is abandoned rather than
+        # stalling the caller forever (unlink-while-mapped is safe;
+        # the straggler fails on attach and reports to a dead pipe)
+        leftovers = list(inflight)
+        for future in leftovers:
             future.cancel()
-        _wait_futures(futures)
+        _wait_futures(leftovers, timeout=5.0)
         _unlink_segments(stack_segments)
         publisher.release(lease)
-        _release_executor()
+        _release_executor(executor, owned)

@@ -107,12 +107,25 @@ class ExecutionContext:
     Args:
         plan_cache: construction cache operators resolve matrices from.
         backend: linear-algebra backend name.
+        faults: optional :class:`~repro.exec.faults.FaultInjector`
+            whose chaos hooks every operator call reports to (fault
+            injection tests only; ``None`` -- one attribute check per
+            call -- in production).
     """
 
-    def __init__(self, plan_cache=None, backend: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        plan_cache=None,
+        backend: Optional[str] = None,
+        faults=None,
+    ) -> None:
         self.plan_cache = plan_cache
         self.backend = backend
+        self.faults = faults
         self.timings: Dict[str, OperatorStats] = {}
+        # recovery events (pool rebuilds, retries) the supervisor
+        # records; the pipeline copies them onto plan.degradations
+        self.events: List[str] = []
         # one context is shared across the thread-dispatch pool, so
         # the counters must fold in atomically
         self._lock = threading.Lock()
@@ -121,6 +134,11 @@ class ExecutionContext:
         """Per-call timing hook: fold one operator call in."""
         with self._lock:
             self.timings.setdefault(name, OperatorStats()).add(seconds)
+
+    def record_event(self, message: str) -> None:
+        """Note one recovery event (retry, rebuild, degradation)."""
+        with self._lock:
+            self.events.append(message)
 
     def merge(self, timings: Mapping[str, Any]) -> None:
         """Fold another context's (possibly serialized) timings in."""
@@ -162,6 +180,8 @@ class Operator:
         context: Optional[ExecutionContext] = None,
         **kwargs: Any,
     ) -> Any:
+        if context is not None and context.faults is not None:
+            context.faults.fire(f"operator:{self.name}")
         started = _time.perf_counter()
         try:
             return self.run(

@@ -19,7 +19,7 @@ from repro import (
     TrajectoryDatabase,
     UncertainObject,
 )
-from repro.core.errors import QueryError
+from repro.core.errors import QueryError, ValidationError
 from repro.core.planner import resolve_options
 from repro.workloads.synthetic import make_line_chain
 
@@ -61,12 +61,26 @@ class TestPlanOptions:
             PlanOptions(method="magic")
 
     def test_bad_n_samples_rejected(self):
-        with pytest.raises(QueryError):
+        with pytest.raises(ValidationError, match="0"):
             PlanOptions(n_samples=0)
 
     def test_bad_max_workers_rejected(self):
-        with pytest.raises(QueryError):
+        with pytest.raises(ValidationError, match="0"):
             PlanOptions(max_workers=0)
+
+    def test_non_integral_max_workers_rejected_eagerly(self):
+        """A float/str pool size must fail at option construction,
+        not deep inside pool acquisition with a bare TypeError."""
+        with pytest.raises(ValidationError, match="2.5"):
+            PlanOptions(max_workers=2.5)
+        with pytest.raises(ValidationError, match="'4'"):
+            PlanOptions(max_workers="4")
+        with pytest.raises(ValidationError, match="True"):
+            PlanOptions(max_workers=True)
+
+    def test_bad_dispatch_named_in_error(self):
+        with pytest.raises(ValidationError, match="gpu"):
+            PlanOptions(dispatch="gpu")
 
     def test_resolve_conflicting_methods_raise(self):
         with pytest.raises(QueryError):
