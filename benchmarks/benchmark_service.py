@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Request fusion through QueryService vs serial submission.
+
+The ISSUE-8 acceptance gate: 64 concurrent clients submitting the
+*same* query (one fusion fingerprint) through
+:class:`repro.QueryService` must finish >= 2x faster than the same 64
+requests evaluated back to back on the engine, with every client's
+values within 1e-12 of the serial reference.  The speedup is
+structural -- the broker answers the whole burst with one stacked
+evaluation -- so unlike the dispatch benchmark it is gated in
+``--smoke`` mode too: it does not depend on core count, only on the
+evaluation costing more than the fusion window.
+
+A second, ungated measurement mixes 4 distinct windows across the
+same client count to report fusion behaviour on a less pathological
+workload (requests/evaluation, speedup).
+
+Everything lands in ``BENCH_service.json``.
+
+Run:  PYTHONPATH=src python benchmarks/benchmark_service.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from typing import List, Optional
+
+from repro import PSTExistsQuery, QueryEngine, QueryService
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    make_synthetic_database,
+)
+
+from _bench_result import bench_name, write_result
+
+REQUIRED_SPEEDUP = 2.0
+CLIENTS = 64
+TENANTS = 4
+FUSION_WINDOW_MS = 2.0
+
+
+def _drive(
+    engine: QueryEngine,
+    queries: List[PSTExistsQuery],
+    clients: int,
+) -> tuple:
+    """One concurrent burst through the service; returns (secs, svc, results)."""
+
+    async def run():
+        async with QueryService(
+            engine, fusion_window_ms=FUSION_WINDOW_MS
+        ) as service:
+            started = time.perf_counter()
+            results = await asyncio.gather(
+                *(
+                    service.submit(
+                        queries[i % len(queries)],
+                        tenant=f"tenant-{i % TENANTS}",
+                    )
+                    for i in range(clients)
+                )
+            )
+            elapsed = time.perf_counter() - started
+            return elapsed, service, results
+
+    return asyncio.run(run())
+
+
+def run(n_objects: int, n_states: int, smoke: bool) -> int:
+    database = make_synthetic_database(
+        SyntheticConfig(n_objects=n_objects, n_states=n_states, seed=13)
+    )
+    engine = QueryEngine(database)
+    lo = n_states // 4
+    hi = min(lo + n_states // 4, n_states - 1)
+    query = PSTExistsQuery.from_ranges(lo, hi, 6, 10)
+    mixed = [
+        PSTExistsQuery.from_ranges(
+            lo + 3 * i, min(hi + 3 * i, n_states - 1), 6, 10
+        )
+        for i in range(4)
+    ]
+    print(
+        f"workload: {n_objects} objects, {n_states} states, "
+        f"{CLIENTS} clients, {TENANTS} tenants, "
+        f"{FUSION_WINDOW_MS:g} ms fusion window"
+    )
+
+    # warm the plan cache so both sides measure steady-state service
+    # behaviour, not first-query matrix construction
+    reference = engine.evaluate(query)
+    for q in mixed:
+        engine.evaluate(q)
+
+    started = time.perf_counter()
+    for _ in range(CLIENTS):
+        engine.evaluate(query)
+    serial_seconds = time.perf_counter() - started
+
+    fused_seconds, service, results = _drive(engine, [query], CLIENTS)
+
+    worst = 0.0
+    for result in results:
+        assert set(result.values) == set(reference.values)
+        for object_id, expected in reference.values.items():
+            worst = max(
+                worst, abs(result.values[object_id] - expected)
+            )
+    assert worst <= 1e-12, f"fusion parity broken: {worst}"
+
+    speedup = serial_seconds / fused_seconds
+    print(
+        f"serial  : {serial_seconds * 1e3:9.1f} ms "
+        f"({CLIENTS} evaluations)"
+    )
+    print(
+        f"service : {fused_seconds * 1e3:9.1f} ms "
+        f"({service.evaluations} evaluation(s), "
+        f"{service.fused_calls} fused)"
+    )
+    print(
+        f"speedup : {speedup:5.2f}x "
+        f"(required: {REQUIRED_SPEEDUP:.1f}x)"
+    )
+    print(f"max |delta|: {worst:.2e}")
+
+    mixed_serial_started = time.perf_counter()
+    for i in range(CLIENTS):
+        engine.evaluate(mixed[i % len(mixed)])
+    mixed_serial = time.perf_counter() - mixed_serial_started
+    mixed_fused, mixed_service, _ = _drive(engine, mixed, CLIENTS)
+    mixed_speedup = mixed_serial / mixed_fused
+    mixed_ratio = CLIENTS / mixed_service.evaluations
+    print(
+        f"mixed   : {len(mixed)} windows -> {mixed_speedup:.2f}x, "
+        f"{mixed_ratio:.1f} requests/evaluation (not gated)"
+    )
+
+    write_result(bench_name(__file__), {
+        "kind": "standalone",
+        "smoke": smoke,
+        "config": {
+            "n_objects": n_objects,
+            "n_states": n_states,
+            "clients": CLIENTS,
+            "tenants": TENANTS,
+            "fusion_window_ms": FUSION_WINDOW_MS,
+        },
+        "serial_seconds": serial_seconds,
+        "fused_seconds": fused_seconds,
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "evaluations": service.evaluations,
+        "mixed_speedup": mixed_speedup,
+        "mixed_requests_per_evaluation": mixed_ratio,
+        "max_abs_delta": worst,
+    })
+
+    if speedup < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: fusion speedup {speedup:.2f}x below required "
+            f"{REQUIRED_SPEEDUP:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="QueryService request fusion vs serial submission"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI configuration (same gates)",
+    )
+    parser.add_argument("--objects", type=int, default=None)
+    parser.add_argument("--states", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run(
+            n_objects=args.objects or 300,
+            n_states=args.states or 1_000,
+            smoke=True,
+        )
+    return run(
+        n_objects=args.objects or 1_500,
+        n_states=args.states or 3_000,
+        smoke=False,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

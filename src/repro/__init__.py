@@ -34,6 +34,7 @@ from repro.core.batch import (
 from repro.core.distribution import StateDistribution
 from repro.core.engine import QueryEngine, QueryResult
 from repro.core.errors import (
+    AdmissionRejected,
     BackendError,
     DegradedExecutionWarning,
     DimensionMismatchError,
@@ -156,6 +157,12 @@ from repro.database.serialization import (
 )
 from repro.database.uncertain_db import TrajectoryDatabase
 from repro.exec.faults import FaultInjector, FaultSpec
+from repro.service import (
+    QueryService,
+    ServiceStandingQuery,
+    TenantAccount,
+    TenantLedger,
+)
 
 __version__ = "1.0.0"
 
@@ -210,6 +217,11 @@ __all__ = [
     # streaming / monitoring
     "StreamingQueryEngine",
     "StandingQuery",
+    # query service
+    "QueryService",
+    "ServiceStandingQuery",
+    "TenantAccount",
+    "TenantLedger",
     "ob_exists_probability",
     "ob_forall_probability",
     "ob_exists_probability_multi",
@@ -284,5 +296,6 @@ __all__ = [
     "SegmentLostError",
     "InjectedFaultError",
     "QuarantinedQueryError",
+    "AdmissionRejected",
     "DegradedExecutionWarning",
 ]

@@ -314,6 +314,7 @@ class QueryEngine:
         stride: int = 1,
         faults=None,
         quarantine_after: int = 3,
+        on_quarantine=None,
     ):
         """Register ``query`` as a standing sliding-window query.
 
@@ -323,8 +324,8 @@ class QueryEngine:
         by one sparse product per slid timestamp instead of recomputed
         -- then slides it ``stride`` timestamps forward.  The streaming
         engine shares this engine's plan cache and reachability pruner,
-        so artefacts built by either serve both.  ``faults`` and
-        ``quarantine_after`` pass through to
+        so artefacts built by either serve both.  ``faults``,
+        ``quarantine_after`` and ``on_quarantine`` pass through to
         :meth:`~repro.core.streaming.StreamingQueryEngine.watch`.
         """
         from repro.core.streaming import StreamingQueryEngine
@@ -341,6 +342,7 @@ class QueryEngine:
             stride=stride,
             faults=faults,
             quarantine_after=quarantine_after,
+            on_quarantine=on_quarantine,
         )
 
     # ------------------------------------------------------------------

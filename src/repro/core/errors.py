@@ -115,6 +115,30 @@ class InjectedFaultError(ExecutionError):
     """
 
 
+class AdmissionRejected(ReproError):
+    """The query service refused to admit a request.
+
+    Raised by :meth:`repro.service.QueryService.submit` *before* any
+    kernel work happens, when the cost-priced admission control of the
+    request broker decides the request cannot (or should not) run:
+
+    * the owning tenant's token budget is exhausted,
+    * the predicted backlog already exceeds the service's
+      ``backlog_budget_seconds`` (load shedding), or
+    * the request's deadline is infeasible against the cost model's
+      wall-time prediction.
+
+    The message names the reason and the prices involved; the
+    :attr:`reason` attribute carries a stable machine-readable tag
+    (``"tenant-budget"``, ``"backlog"``, ``"deadline"`` or
+    ``"stopped"``) so load generators can bucket rejections.
+    """
+
+    def __init__(self, message: str, reason: str = "backlog") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class QuarantinedQueryError(ExecutionError):
     """A standing query was quarantined after repeated tick failures.
 

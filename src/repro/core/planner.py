@@ -607,6 +607,13 @@ class QueryPlan:
             falls ("process -> thread: ...").  Empty on a clean run;
             rendered by :meth:`describe` so ``explain()`` shows how
             the exact answer was actually obtained.
+        fusion: cross-request fusion events recorded by the
+            :mod:`repro.service` request broker when this evaluation
+            answered several concurrent requests at once ("fused 5
+            requests from 2 tenants ...", plus the admission prices
+            of the request the plan was returned to).  Empty for
+            plain library evaluations; rendered by :meth:`describe`
+            so ``explain()`` shows what was merged and why.
     """
 
     kind: str
@@ -628,6 +635,7 @@ class QueryPlan:
     semantics: Optional[str] = None
     auto_streamed: bool = False
     degradations: List[str] = field(default_factory=list)
+    fusion: List[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.semantics is None:
@@ -637,6 +645,32 @@ class QueryPlan:
     def n_objects(self) -> int:
         """Total candidate objects entering the pipeline."""
         return sum(len(group.objects) for group in self.groups)
+
+    @property
+    def estimated_cost(self) -> float:
+        """Planned cost: the sum of each group's cheapest method.
+
+        In the cost model's units (abstract operations for the default
+        coefficients, seconds for calibrated ones); feed it through
+        :meth:`CostModel.predict_seconds` for a wall-time prediction.
+        This is the quantity the service tier's admission control
+        prices requests with.
+        """
+        return sum(
+            min(group.costs.values())
+            for group in self.groups
+            if group.costs
+        )
+
+    def estimated_seconds(self) -> float:
+        """Predicted wall seconds of executing this plan.
+
+        Uses the plan's resolved cost model
+        (:meth:`CostModel.predict_seconds`); falls back to default
+        coefficients when the planner attached none.
+        """
+        model = self.cost_model or CostModel()
+        return model.predict_seconds(self.estimated_cost)
 
     def stage_counts(self) -> List[int]:
         """Candidate counts through the pipeline: ``[in, out, out, ...]``.
@@ -701,6 +735,8 @@ class QueryPlan:
             )
         for event in self.degradations:
             lines.append(f"  degraded : {event}")
+        for event in self.fusion:
+            lines.append(f"  fused    : {event}")
         if self.operator_seconds:
             parts = []
             for name, stats in sorted(self.operator_seconds.items()):
@@ -778,6 +814,30 @@ class QueryPlanner:
                 query.window, kind="exists", options=options
             )
         raise QueryError(f"unsupported query type {type(query)!r}")
+
+    def estimate_seconds(
+        self, query: PSTQuery, options: Optional[PlanOptions] = None
+    ) -> float:
+        """Predicted wall seconds of evaluating ``query`` -- no kernels.
+
+        The admission-control hook of the service tier
+        (:mod:`repro.service`): planning probes only object counts,
+        chain sparsity and the plan cache, so the price of a request
+        can be quoted *before* any kernel work is committed.  With a
+        calibrated cost model
+        (:meth:`CostModel.from_calibration`) the returned value is a
+        genuine wall-time prediction; with the structural defaults it
+        is an operation count converted at
+        :data:`CostModel.DEFAULT_UNIT_SECONDS` -- coarse, but
+        consistent across requests, which is all ordering and
+        budgeting need.
+        """
+        if isinstance(query, PSTForAllQuery) and not (
+            frozenset(range(self.database.n_states)) - query.region
+        ):
+            # trivially 1.0 for every object; evaluate() never plans it
+            return 0.0
+        return self.plan(query, options).estimated_seconds()
 
     def plan_window(
         self,

@@ -696,6 +696,7 @@ class StandingQuery:
         stride: int = 1,
         faults=None,
         quarantine_after: int = 3,
+        on_quarantine=None,
     ) -> None:
         if stride < 1:
             raise QueryError(
@@ -739,6 +740,11 @@ class StandingQuery:
         self.faults = faults
         self.quarantine_after = int(quarantine_after)
         self.quarantined = False
+        # notification hook fired once per quarantine transition (the
+        # service tier surfaces it to the owning tenant); exceptions
+        # it raises are swallowed so a broken observer cannot mask
+        # the tick's original error
+        self.on_quarantine = on_quarantine
         self.resyncs = 0
         self._failures = 0  # consecutive rolled-back ticks
         self._error: Optional[str] = None
@@ -872,6 +878,11 @@ class StandingQuery:
             self._error = f"{type(exc).__name__}: {exc}"
             if self._failures >= self.quarantine_after:
                 self.quarantined = True
+                if self.on_quarantine is not None:
+                    try:
+                        self.on_quarantine(self)
+                    except Exception:
+                        pass  # observers never mask the tick error
             raise
         self._failures = 0
         self._error = None
@@ -1147,6 +1158,7 @@ class StreamingQueryEngine:
         stride: int = 1,
         faults=None,
         quarantine_after: int = 3,
+        on_quarantine=None,
     ) -> StandingQuery:
         """Register a standing query; every :meth:`StandingQuery.tick`
         evaluates the current window and slides it ``stride`` forward.
@@ -1155,6 +1167,10 @@ class StreamingQueryEngine:
         :class:`~repro.exec.faults.FaultInjector` through the query's
         ticks; ``quarantine_after`` consecutive failed (rolled-back)
         ticks quarantine the query instead of failing forever.
+        ``on_quarantine`` is called with the standing query when the
+        quarantine trips (once per transition; exceptions it raises
+        are swallowed) -- the service tier uses it to surface the
+        quarantine to the owning tenant.
         """
         standing = StandingQuery(
             self,
@@ -1162,6 +1178,7 @@ class StreamingQueryEngine:
             stride=stride,
             faults=faults,
             quarantine_after=quarantine_after,
+            on_quarantine=on_quarantine,
         )
         self._standing.append(standing)
         return standing

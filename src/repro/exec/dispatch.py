@@ -76,6 +76,7 @@ except ImportError:  # pragma: no cover - exercised only without scipy
 __all__ = [
     "process_dispatch_available",
     "run_groups_in_processes",
+    "prewarm",
     "shutdown",
     "publish_csr",
     "attach_csr",
@@ -545,6 +546,21 @@ def _invalidate_executor(executor: ProcessPoolExecutor) -> None:
     with _POOL_LOCK:
         if executor is _EXECUTOR:
             _EXECUTOR_BROKEN = True
+
+
+def prewarm(max_workers: int) -> None:
+    """Build the persistent worker pool ahead of the first dispatch.
+
+    The first ``dispatch="process"`` evaluation of a session pays the
+    pool fork (and triggers the janitor sweep); a long-lived caller --
+    the :mod:`repro.service` front end at startup, a benchmark
+    harness before its measured section -- calls this once so that
+    cost lands outside any latency-sensitive window.  No-op when a
+    pool with at least ``max_workers`` workers is already up; safe
+    without scipy (the pool itself has no backend dependency).
+    """
+    executor, owned = _acquire_executor(max_workers)
+    _release_executor(executor, owned)
 
 
 def shutdown() -> None:

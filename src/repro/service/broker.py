@@ -1,0 +1,221 @@
+"""Request broker: fuse compatible requests into stacked evaluations.
+
+Many clients monitoring the same uncertain trajectories tend to ask
+the same questions at the same time -- dashboards refresh on the same
+cadence, alerting rules share windows.  The broker exploits that:
+requests collected within one scheduling window are grouped by a
+*fusion key* (query semantics plus every option that can change the
+answer, plus the database version so a mutation splits the groups)
+and each group is answered by a single engine evaluation whose values
+are demultiplexed back to every caller.
+
+Everything here is synchronous and deterministic; the asyncio side
+(:class:`~repro.service.server.QueryService`) owns timing and
+concurrency.  That split keeps the scheduling policy unit-testable
+without an event loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.planner import PlanOptions
+from repro.core.query import PSTQuery
+
+__all__ = [
+    "FusedGroup",
+    "PendingRequest",
+    "RequestBroker",
+    "fingerprint_of",
+    "fusion_key",
+]
+
+# monotonically increasing tag handed to requests that must never fuse
+# (Monte-Carlo with no seed: two evaluations legitimately disagree)
+_unfusable_counter = 0
+
+
+def fusion_key(
+    query: PSTQuery,
+    options: PlanOptions,
+    database_version: int,
+) -> Tuple[Any, ...]:
+    """The equivalence class of requests answerable by one evaluation.
+
+    Two requests fuse only if a single ``QueryEngine.evaluate`` call
+    produces both answers exactly.  The key therefore covers the query
+    semantics (type, region, times, ``k``), every option that can
+    change the values (forced method, filter toggles, Monte-Carlo
+    sample count and seed, ``allow_approximate``), and the database
+    version -- an update between two submissions must split them.
+    Execution knobs (``dispatch``, ``max_workers``, ``supervisor``)
+    stay out: they change *how*, never *what*, and the group executes
+    with its first request's options.
+
+    Monte-Carlo with ``seed=None`` is non-deterministic, so such
+    requests get a unique key and never fuse.
+    """
+    may_sample = options.method == "mc" or (
+        options.method is None and options.allow_approximate
+    )
+    if may_sample and options.seed is None:
+        global _unfusable_counter
+        _unfusable_counter += 1
+        return ("unfusable", _unfusable_counter)
+    return (
+        type(query).__name__,
+        frozenset(query.window.region),
+        frozenset(query.window.times),
+        getattr(query, "k", None),
+        options.method,
+        options.prefilter,
+        options.bfs_prune,
+        options.allow_approximate,
+        options.n_samples,
+        options.seed,
+        database_version,
+    )
+
+
+def fingerprint_of(key: Tuple[Any, ...]) -> str:
+    """Short stable hex digest of a fusion key, for explain output."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+@dataclass
+class PendingRequest:
+    """One client request queued inside the service.
+
+    Attributes:
+        query: the PST query to answer.
+        options: fully resolved :class:`PlanOptions` (the engine-level
+            ``method=``/``seed=`` keywords are folded in before the
+            request enters the broker).
+        tenant: account the request is admitted and billed against.
+        predicted_seconds: cost-model admission price.
+        key: fusion key (see :func:`fusion_key`).
+        future: where the caller awaits its
+            :class:`~repro.core.engine.QueryResult`.
+        object_ids: optional subset of object ids the caller wants;
+            ``None`` means all.  Deliberately *not* part of the fusion
+            key -- the fused evaluation computes every object and each
+            caller receives its filtered slice.
+        deadline_at: absolute loop time the answer is due, or ``None``.
+        submitted_at: loop time the request entered the queue.
+    """
+
+    query: PSTQuery
+    options: PlanOptions
+    tenant: str
+    predicted_seconds: float
+    key: Tuple[Any, ...]
+    future: Any
+    object_ids: Optional[Sequence[Any]] = None
+    deadline_at: Optional[float] = None
+    submitted_at: float = 0.0
+
+
+@dataclass
+class FusedGroup:
+    """Requests that will be answered by one engine evaluation."""
+
+    key: Tuple[Any, ...]
+    requests: List[PendingRequest] = field(default_factory=list)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint_of(self.key)
+
+    @property
+    def predicted_seconds(self) -> float:
+        """Price of executing the group: one evaluation, not N."""
+        if not self.requests:
+            return 0.0
+        return min(r.predicted_seconds for r in self.requests)
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Earliest member deadline -- the one scheduling must honour."""
+        deadlines = [
+            r.deadline_at
+            for r in self.requests
+            if r.deadline_at is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    @property
+    def tenants(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.tenant, None)
+        return list(seen)
+
+
+class RequestBroker:
+    """FIFO intake queue with fuse-and-order draining.
+
+    The service enqueues admitted requests as they arrive; once per
+    scheduling window it calls :meth:`drain`, which empties the queue,
+    groups requests by fusion key and returns the groups in execution
+    order: earliest deadline first, then cheapest predicted plan --
+    so under load the broker clears many quick answers before one
+    expensive one, and a deadline is never parked behind undated work.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[PendingRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, request: PendingRequest) -> None:
+        self._pending.append(request)
+
+    def has_pending(self, key: Tuple[Any, ...]) -> bool:
+        """Whether a queued request already carries this fusion key.
+
+        Admission control uses this to wave fusable requests through
+        the backlog check: joining an existing group adds (almost) no
+        work, so shedding it would only lose the cheap answer.
+        """
+        return any(request.key == key for request in self._pending)
+
+    def clear(self) -> List[PendingRequest]:
+        """Empty the queue and return what was in it (for shutdown)."""
+        pending = list(self._pending)
+        self._pending.clear()
+        return pending
+
+    def backlog_seconds(self) -> float:
+        """Predicted cost of the work already queued, after fusion.
+
+        This is the number admission control compares against its
+        backlog budget, so it must price the queue the way it will
+        actually execute: one evaluation per fused group.
+        """
+        cheapest: Dict[Tuple[Any, ...], float] = {}
+        for request in self._pending:
+            seen = cheapest.get(request.key)
+            if seen is None or request.predicted_seconds < seen:
+                cheapest[request.key] = request.predicted_seconds
+        return sum(cheapest.values())
+
+    def drain(self) -> List[FusedGroup]:
+        """Empty the queue into fused groups, in execution order."""
+        groups: Dict[Tuple[Any, ...], FusedGroup] = {}
+        for request in self._pending:
+            group = groups.get(request.key)
+            if group is None:
+                group = groups[request.key] = FusedGroup(key=request.key)
+            group.requests.append(request)
+        self._pending.clear()
+        return sorted(
+            groups.values(),
+            key=lambda g: (
+                g.deadline_at if g.deadline_at is not None else float("inf"),
+                g.predicted_seconds,
+            ),
+        )
