@@ -177,6 +177,11 @@ def _run_calibrate(args) -> int:
     )
     for name in CALIBRATED_COEFFICIENTS:
         print(f"  {name:<18} = {getattr(result.model, name):.3e}")
+    backend_sets = result.model.backend_coefficients or {}
+    print(
+        "backend coefficient sets: "
+        + (", ".join(sorted(backend_sets)) or "scipy (flat)")
+    )
     print(
         f"held-out argmin accuracy: {result.accuracy:.0%} on "
         f"{result.n_holdout} points "
@@ -198,11 +203,33 @@ def _run_calibrate(args) -> int:
 
 
 def _run_doctor(args) -> int:
-    """``repro-bench doctor``: shared-memory janitor + accounting."""
+    """``repro-bench doctor``: health check -- backends + shared memory.
+
+    Reports which linear-algebra backends are importable and the
+    native backend's compile status (JIT vs dense-BLAS fallback,
+    prewarmed or cold), then runs the shared-memory janitor and
+    accounting.  The exit code reflects only leaked bytes; a missing
+    numba is informational, not an error.
+    """
     from repro.exec.dispatch import (
         list_segments,
         memory_stats,
         sweep_orphans,
+    )
+    from repro.linalg import native
+    from repro.linalg.ops import available_backends
+
+    print(f"backends      : {', '.join(available_backends())}")
+    status = native.compile_status()
+    mode = status["mode"]
+    if status["numba_disabled"]:
+        mode += " (numba disabled via REPRO_DISABLE_NUMBA)"
+    elif not status["numba_installed"]:
+        mode += " (numba not installed)"
+    print(
+        f"native backend: mode={mode}, "
+        f"prewarmed={status['prewarmed']}, "
+        f"dense_cap={status['dense_cap_elements']} elements"
     )
 
     segments = list_segments()

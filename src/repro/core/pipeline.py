@@ -59,6 +59,7 @@ from repro.core.batch import (
     batch_qb_exists,
 )
 from repro.core.errors import (
+    BackendError,
     DegradedExecutionWarning,
     ExecutionError,
     QueryError,
@@ -299,6 +300,15 @@ class QueryPipeline:
                     "thread" if len(plan.groups) > 1 else "serial",
                     error,
                 )
+            except BackendError as error:
+                # native kernels failed in the parent-side pool prep:
+                # pin every native group back to scipy and re-run the
+                # whole stage one tier down
+                pool_tasks = None
+                self._degrade(context, "native", "scipy", error)
+                for group in plan.groups:
+                    if group.backend == "native":
+                        group.backend = "scipy"
             if pool_tasks is None:  # unavailable: degrade gracefully
                 mode = "thread" if len(plan.groups) > 1 else "serial"
 
@@ -309,16 +319,29 @@ class QueryPipeline:
                 out: Dict[str, ResultValue] = {}
                 if objects:
                     chain = self.database.chain(group.chain_id)
-                    if plan.kind == "ktimes":
-                        out = self._ktimes_kernel(
-                            chain, group, objects, plan, query,
-                            seed_index, context,
-                        )
-                    else:
-                        out = self._exists_kernel(
+
+                    def kernel() -> Dict[str, ResultValue]:
+                        if plan.kind == "ktimes":
+                            return self._ktimes_kernel(
+                                chain, group, objects, plan, query,
+                                seed_index, context,
+                            )
+                        return self._exists_kernel(
                             chain, group, objects, plan, seed_index,
                             context,
                         )
+
+                    try:
+                        out = kernel()
+                    except BackendError as error:
+                        if group.backend != "native":
+                            raise
+                        # compiled kernels unusable at runtime (import
+                        # or compile failure): same exact kernels on
+                        # the scipy products, answer unchanged
+                        self._degrade(context, "native", "scipy", error)
+                        group.backend = "scipy"
+                        out = kernel()
                 group.survivors = len(objects)
                 group.elapsed_seconds = (
                     _time.perf_counter() - group_started
@@ -424,10 +447,11 @@ class QueryPipeline:
             if group.method == "mc":
                 parent_only.append(group)
                 continue
+            group_backend = group.backend or self.backend
             if plan.kind == "ktimes":
                 # the stacked CT sweep needs only the chain CSR (the
                 # count dimension lives in the stack, not a matrix)
-                tasks.append((chain, None, objects, "ct"))
+                tasks.append((chain, None, objects, "ct", group_backend))
                 task_groups.append(group)
                 continue
             singles = [
@@ -440,10 +464,13 @@ class QueryPipeline:
             ]
             if singles:
                 matrices = BUILD_ABSORBING(
-                    None, chain, plan.window.region, self.backend,
+                    None, chain, plan.window.region, group_backend,
                     context=context, plan_cache=self.plan_cache,
                 )
-                tasks.append((chain, matrices, singles, group.method))
+                tasks.append(
+                    (chain, matrices, singles, group.method,
+                     group_backend)
+                )
                 task_groups.append(group)
             if multis:
                 started = _time.perf_counter()
@@ -451,7 +478,7 @@ class QueryPipeline:
                     chain,
                     [obj.observations for obj in multis],
                     plan.window,
-                    backend=self.backend,
+                    backend=group_backend,
                     plan_cache=self.plan_cache,
                     context=context,
                 )
@@ -556,7 +583,7 @@ class QueryPipeline:
                 [obj.initial.distribution for obj in singles],
                 plan.window,
                 start_times=[obj.initial.time for obj in singles],
-                backend=self.backend,
+                backend=group.backend or self.backend,
                 plan_cache=self.plan_cache,
                 context=context,
             )
@@ -567,7 +594,7 @@ class QueryPipeline:
                 chain,
                 [obj.observations for obj in multis],
                 plan.window,
-                backend=self.backend,
+                backend=group.backend or self.backend,
                 plan_cache=self.plan_cache,
                 context=context,
             )
@@ -610,7 +637,7 @@ class QueryPipeline:
             [obj.initial.distribution for obj in objects],
             plan.window,
             start_times=[obj.initial.time for obj in objects],
-            backend=self.backend,
+            backend=group.backend or self.backend,
             plan_cache=self.plan_cache,
             context=context,
         )

@@ -208,7 +208,12 @@ class PlanCache:
         backend: Optional[str],
         extra: Hashable = None,
     ) -> Tuple[Hashable, ...]:
-        return (kind, chain.fingerprint(), region, backend, extra)
+        # None means "the default backend", which is scipy; the two
+        # spellings must alias or a planner probing with None never
+        # sees artefacts an engine stored under an explicit "scipy".
+        return (
+            kind, chain.fingerprint(), region, backend or "scipy", extra
+        )
 
     @staticmethod
     def _fingerprint_key(
@@ -218,7 +223,7 @@ class PlanCache:
         backend: Optional[str],
         extra: Hashable = None,
     ) -> Tuple[Hashable, ...]:
-        return (kind, fingerprint, region, backend, extra)
+        return (kind, fingerprint, region, backend or "scipy", extra)
 
     # ------------------------------------------------------------------
     # cross-process rehydration

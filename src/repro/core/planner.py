@@ -206,6 +206,12 @@ class PlanOptions:
         supervisor: fault-tolerance knobs of the process dispatch
             (per-task deadlines, retries, degradation); ``None`` uses
             :class:`SupervisorPolicy`'s defaults.
+        backend: force a linear-algebra backend (``"scipy"``,
+            ``"native"``, ``"pure"``) for every chain group instead of
+            the cost-based per-group choice
+            (:meth:`CostModel.best_backend`).  Like ``dispatch`` this
+            changes *how*, never *what*: every backend agrees to
+            1e-12, so it stays out of the service tier's fusion key.
         faults: a :class:`~repro.exec.faults.FaultInjector` threaded
             through execution for deterministic chaos testing
             (``None`` -- the production value -- costs one attribute
@@ -224,6 +230,7 @@ class PlanOptions:
     cost_model: Optional["CostModel"] = None
     auto_stream: bool = False
     supervisor: Optional[SupervisorPolicy] = None
+    backend: Optional[str] = None
     faults: Optional[object] = None
 
     def __post_init__(self) -> None:
@@ -232,6 +239,14 @@ class PlanOptions:
                 f"unknown method {self.method!r}; expected one of "
                 f"{_ALL_METHODS}"
             )
+        if self.backend is not None:
+            from repro.linalg.ops import available_backends
+
+            if self.backend not in available_backends():
+                raise ValidationError(
+                    f"unknown backend {self.backend!r}; expected one "
+                    f"of {available_backends()}"
+                )
         _require_int("n_samples", self.n_samples, 1)
         if self.max_workers is not None:
             _require_int("max_workers", self.max_workers, 1)
@@ -302,6 +317,20 @@ class CostModel:
             dominates any GIL win.
         shard_min_objects: smallest within-chain object shard handed to
             one process-pool worker.
+        native_min_objects: smallest stacked cohort the structural
+            (uncalibrated) heuristic promotes to the ``native``
+            backend -- below it the sweeps are too small for the
+            compiled kernels' setup (JIT dispatch or densify) to pay.
+        native_min_density: smallest chain density
+            (``nnz / n_states^2``) the structural heuristic promotes;
+            very sparse chains are exactly where scipy's CSR products
+            already win.
+        backend_coefficients: per-backend calibrated coefficient sets
+            (``{"scipy": {...}, "native": {...}}``) fitted by
+            ``repro-bench calibrate``; when at least two backends are
+            present, :meth:`best_backend` prices each group under each
+            set and picks the measured argmin instead of the
+            structural heuristic.
         calibrated_from: provenance note (calibration file path) when
             the coefficients came from :meth:`from_calibration`.
     """
@@ -320,6 +349,9 @@ class CostModel:
     max_workers_cap: int = 8
     process_min_cost: float = 5e8
     shard_min_objects: int = 128
+    native_min_objects: int = 16
+    native_min_density: float = 0.08
+    backend_coefficients: Optional[Dict[str, Dict[str, float]]] = None
     calibrated_from: Optional[str] = None
 
     @staticmethod
@@ -372,13 +404,31 @@ class CostModel:
             # the fitted sparse-sweep scale instead -- same kind of
             # per-nnz-per-timestep load, so the argmin and the
             # process-dispatch threshold stay in one unit system.
-            fields = {
-                name: float(coefficients[name])
-                for name in CALIBRATED_COEFFICIENTS
-                if name in coefficients
-            }
-            if "ktimes_unit" not in fields and "sweep_unit" in fields:
-                fields["ktimes_unit"] = fields["sweep_unit"]
+            def _coefficient_set(source) -> Dict[str, float]:
+                values = {
+                    name: float(source[name])
+                    for name in CALIBRATED_COEFFICIENTS
+                    if name in source
+                }
+                if "ktimes_unit" not in values and "sweep_unit" in values:
+                    values["ktimes_unit"] = values["sweep_unit"]
+                return values
+
+            fields = dict(_coefficient_set(coefficients))
+            # per-backend coefficient sets (newer calibration files);
+            # a single-backend file from before backend selection
+            # loads as a scipy-only set, so best_backend() falls back
+            # to the structural heuristic exactly as documented
+            backends_doc = document.get("backends")
+            if backends_doc:
+                fields["backend_coefficients"] = {
+                    str(name): _coefficient_set(
+                        entry.get("coefficients", entry)
+                    )
+                    for name, entry in backends_doc.items()
+                }
+            else:
+                fields["backend_coefficients"] = {"scipy": dict(fields)}
             # calibrated coefficients are seconds-per-unit-load, so
             # the process-dispatch threshold switches to the file's
             # wall-time bound (seconds past which a pool pays off)
@@ -476,6 +526,93 @@ class CostModel:
             * self.dense_sweep_unit * max(1, features.n_multi)
         )
 
+    # ------------------------------------------------------------------
+    # backend selection
+    # ------------------------------------------------------------------
+    def method_cost(
+        self,
+        features: "GroupFeatures",
+        method: str,
+        n_samples: int = 100,
+    ) -> float:
+        """The group's estimated cost under ``method``."""
+        if method == "qb":
+            return self.qb_cost(features)
+        if method == "ob":
+            return self.ob_cost(features)
+        if method == "ct":
+            return self.ktimes_cost(features)
+        if method == "mc":
+            return self.mc_cost(features, n_samples)
+        raise QueryError(f"unknown method {method!r}")
+
+    def for_backend(self, name: str) -> "CostModel":
+        """This model with ``name``'s calibrated coefficients swapped in.
+
+        Identity when no per-backend set was calibrated for ``name`` --
+        the shared coefficients then price every backend the same and
+        the structural heuristic decides.
+        """
+        sets = self.backend_coefficients or {}
+        if name not in sets:
+            return self
+        return replace(self, **sets[name])
+
+    def best_backend(
+        self,
+        features: "GroupFeatures",
+        method: str,
+        n_samples: int = 100,
+    ) -> str:
+        """The backend this group's kernels should execute through.
+
+        With calibrated per-backend coefficient sets (two or more
+        backends measured) the choice is the measured argmin of the
+        group's method cost, scipy winning ties.  Otherwise a
+        structural heuristic promotes dense stacked cohorts (the
+        shapes where the compiled/dense kernels were measured to win)
+        to ``native`` and keeps everything else on scipy.
+        """
+        from repro.linalg.ops import available_backends
+
+        installed = available_backends()
+        if "native" not in installed or "scipy" not in installed:
+            return "scipy" if "scipy" in installed else "pure"
+        sets = self.backend_coefficients or {}
+        comparable = [
+            name for name in sorted(sets) if name in installed
+        ]
+        if len(comparable) >= 2:
+            def price(name: str) -> float:
+                return self.for_backend(name).method_cost(
+                    features, method, n_samples
+                )
+
+            scipy_cost = price("scipy") if "scipy" in comparable else None
+            best = min(comparable, key=price)
+            if (
+                scipy_cost is not None
+                and price(best) >= scipy_cost * 0.999
+            ):
+                return "scipy"  # ties (and noise-level wins) stay put
+            return best
+        # structural heuristic: the compiled kernels win on dense
+        # chains sweeping many stacked columns; tiny or very sparse
+        # groups stay on scipy (measured crossover, see
+        # benchmarks/benchmark_backends.py)
+        from repro.linalg import native as native_kernels
+
+        density = features.nnz / max(1, features.n_states) ** 2
+        dense_elements = features.n_states ** 2
+        if (
+            method in ("ob", "ct")
+            and features.n_single >= self.native_min_objects
+            and density >= self.native_min_density
+            and dense_elements <= native_kernels.dense_cap()
+        ):
+            return "native"
+        return "scipy"
+
 
 @dataclass(frozen=True)
 class GroupFeatures:
@@ -518,6 +655,14 @@ class GroupPlan:
             execution time without mutating the plan).
         features: the cost-model inputs.
         costs: estimated cost per candidate method.
+        backend: linear-algebra backend the group's kernels execute
+            through (:meth:`CostModel.best_backend`, or the forced
+            :attr:`PlanOptions.backend`).  The pipeline rewrites it to
+            ``"scipy"`` if the native kernels fail at runtime, with
+            the fall recorded on ``plan.degradations``.
+        predicted_seconds: the cost model's wall-time prediction for
+            the chosen method; ``describe()`` renders it next to the
+            measured ``elapsed_seconds``.
         survivors: objects left after the filter stages (execution).
         elapsed_seconds: group kernel time (execution); under process
             dispatch, the summed worker-side shard seconds plus any
@@ -529,6 +674,8 @@ class GroupPlan:
     objects: List[UncertainObject] = field(repr=False, default_factory=list)
     features: Optional[GroupFeatures] = None
     costs: Dict[str, float] = field(default_factory=dict)
+    backend: Optional[str] = None
+    predicted_seconds: Optional[float] = None
     survivors: Optional[int] = None
     elapsed_seconds: Optional[float] = None
 
@@ -720,8 +867,18 @@ class QueryPlan:
                 f"  group {group.chain_id!r}: {singles} single + "
                 f"{multis} multi -> method={group.method}"
             )
+            if group.backend is not None:
+                line += f" backend={group.backend}"
             if costs:
                 line += f"  [{costs}]"
+            if group.predicted_seconds is not None:
+                line += (
+                    f"  predicted={group.predicted_seconds * 1e3:.3f} ms"
+                )
+                if group.elapsed_seconds is not None:
+                    line += (
+                        f" measured={group.elapsed_seconds * 1e3:.3f} ms"
+                    )
             if group.survivors is not None:
                 line += f"  survivors={group.survivors}"
             lines.append(line)
@@ -955,12 +1112,26 @@ class QueryPlanner:
                 method = min(
                     candidates, key=lambda name: costs.get(name, float("inf"))
                 )
+        if options.backend is not None:
+            backend = options.backend
+        elif self.backend not in (None, "scipy"):
+            # an engine pinned to a non-default backend (e.g. the
+            # pure-python cross-check) keeps it for every group
+            backend = self.backend
+        else:
+            backend = model.best_backend(
+                features, method, options.n_samples
+            )
         return GroupPlan(
             chain_id=chain_id,
             method=method,
             objects=list(objects),
             features=features,
             costs=costs,
+            backend=backend,
+            predicted_seconds=model.predict_seconds(
+                costs.get(method, 0.0)
+            ),
         )
 
     def _cached(self, kind: str, chain, window) -> bool:

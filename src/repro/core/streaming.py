@@ -91,9 +91,14 @@ from repro.core.batch import (
     batch_ktimes_distribution,
     batch_qb_exists,
 )
-from repro.core.errors import QuarantinedQueryError, QueryError
+from repro.core.errors import (
+    BackendError,
+    QuarantinedQueryError,
+    QueryError,
+)
 from repro.core.plan_cache import PlanCache
 from repro.core.planner import (
+    CostModel,
     GroupFeatures,
     GroupPlan,
     PlanOptions,
@@ -232,6 +237,10 @@ class _ChainStream:
         self.chain_id = chain_id
         self.owner = owner
         self.chain = owner.engine.database.chain(chain_id)
+        # the stream's backend is a per-chain plan decision, fixed at
+        # construction (ticks must stay O(stride)); a runtime
+        # BackendError flips it to scipy -- see StandingQuery.tick
+        self.backend = owner._chain_backend(self.chain)
         if owner.kind == "ktimes":
             # the suffix-count ladder runs on the plain chain matrix;
             # the count dimension lives in the C-blocks, not in an
@@ -239,7 +248,7 @@ class _ChainStream:
             self.matrices = None
         else:
             self.matrices = owner.engine.plan_cache.absorbing(
-                self.chain, owner.region, owner.engine.backend
+                self.chain, owner.region, self.backend
             )
         self.groups: Dict[int, _StartGroup] = {}
         self.multis: Dict[str, UncertainObject] = {}
@@ -367,7 +376,7 @@ class _ChainStream:
             (observations, resume),
             self.chain,
             self.owner.region,
-            self.owner.engine.backend,
+            self.backend,
             context=self.owner.context,
         )
         self.posteriors[obj.object_id] = (
@@ -401,7 +410,7 @@ class _ChainStream:
             (self._ladder_matrix(), self.rel[base_gap], steps),
             self.chain,
             self.owner.region,
-            self.owner.engine.backend,
+            self.backend,
             context=self.owner.context,
         )
         self.matvecs += steps
@@ -422,7 +431,7 @@ class _ChainStream:
                 self.chain,
                 window,
                 [window.t_start - 1],
-                self.owner.engine.backend,
+                self.backend,
                 context=self.owner.context,
             )
             return np.asarray(blocks[window.t_start - 1], dtype=float)
@@ -431,7 +440,7 @@ class _ChainStream:
             self.chain,
             window,
             [anchor_start],
-            self.owner.engine.backend,
+            self.backend,
             context=self.owner.context,
         )
         return np.asarray(vectors[anchor_start], dtype=float)
@@ -483,7 +492,7 @@ class _ChainStream:
             self.chain,
             window,
             [start],
-            self.owner.engine.backend,
+            self.backend,
             context=self.owner.context,
         )
         column = np.asarray(vectors[start], dtype=float)
@@ -564,7 +573,7 @@ class _ChainStream:
                 [distribution for _, _, distribution in fallback],
                 window,
                 start_times=[start for _, start, _ in fallback],
-                backend=self.owner.engine.backend,
+                backend=self.backend,
                 plan_cache=self.owner.engine.plan_cache,
                 context=self.owner.context,
             )
@@ -600,7 +609,7 @@ class _ChainStream:
                     [self.multis[object_id].observations
                      for object_id in doubled],
                     window,
-                    backend=self.owner.engine.backend,
+                    backend=self.backend,
                     plan_cache=self.owner.engine.plan_cache,
                     context=self.owner.context,
                 )
@@ -664,7 +673,7 @@ class _ChainStream:
                 [distribution for _, _, distribution in fallback],
                 window,
                 start_times=[start for _, start, _ in fallback],
-                backend=self.owner.engine.backend,
+                backend=self.backend,
                 plan_cache=self.owner.engine.plan_cache,
                 context=self.owner.context,
             )
@@ -764,6 +773,9 @@ class StandingQuery:
         self._active = 0
         self._synced_version = 0
         self._last_plan: Optional[QueryPlan] = None
+        # backend falls (native -> scipy) recorded by the *next*
+        # committed tick's plan; see the BackendError branch of tick()
+        self._pending_degradations: List[str] = []
         self._initialize()
 
     # ------------------------------------------------------------------
@@ -874,6 +886,26 @@ class StandingQuery:
             self._offset += self.stride
         except Exception as exc:
             self._restore(snapshot)
+            if isinstance(exc, BackendError):
+                fallen = [
+                    stream
+                    for stream in self._chains.values()
+                    if stream.backend == "native"
+                ]
+                if fallen:
+                    # same contract as the batch pipeline: the native
+                    # kernels are an optimisation, never a correctness
+                    # dependency -- flip the failing streams to scipy
+                    # and re-run the tick (the rollback above restored
+                    # every ladder; stream.backend is not part of the
+                    # snapshot, so the flip survives the retry)
+                    for stream in fallen:
+                        stream.backend = "scipy"
+                    self._pending_degradations.append(
+                        "degraded native -> scipy after "
+                        f"BackendError: {exc}"
+                    )
+                    return self.tick()
             self._failures += 1
             self._error = f"{type(exc).__name__}: {exc}"
             if self._failures >= self.quarantine_after:
@@ -1041,6 +1073,41 @@ class StandingQuery:
         self._active = 0
         self._initialize()
 
+    def _chain_backend(self, chain) -> Optional[str]:
+        """The linear-algebra backend one chain stream runs on.
+
+        Decided once per stream, mirroring the batch planner's
+        structural heuristic (:meth:`CostModel.best_backend`): an
+        explicit engine backend always wins; otherwise only the
+        k-times C-block ladder -- a dense ``(n, duration+1)`` GEMM per
+        extension step -- is promoted to the native kernels, and only
+        on chains dense enough for them to pay
+        (``native_min_density``) and small enough to densify
+        (``REPRO_NATIVE_DENSE_CAP``).  Exists ladders are single
+        matvec extensions where sparse scipy products stay ahead.
+        """
+        engine_backend = self.engine.backend
+        if engine_backend not in (None, "scipy"):
+            return engine_backend
+        if self.kind != "ktimes":
+            return engine_backend
+        try:
+            from repro.linalg import native as native_kernels
+            from repro.linalg.ops import available_backends
+        except Exception:  # pragma: no cover - linalg always imports
+            return engine_backend
+        if "native" not in available_backends():
+            return engine_backend
+        model = CostModel()
+        n = chain.n_states
+        density = chain.nnz / max(1, n * n)
+        if (
+            density >= model.native_min_density
+            and n * n <= native_kernels.dense_cap()
+        ):
+            return "native"
+        return engine_backend
+
     def _build_plan(
         self,
         window: SpatioTemporalWindow,
@@ -1085,10 +1152,15 @@ class StandingQuery:
                         duration=window.duration,
                     ),
                     survivors=len(stream.singles) + len(stream.multis),
+                    backend=stream.backend,
                 )
                 for chain_id, stream in sorted(self._chains.items())
             ],
         )
+        plan.degradations = list(self._pending_degradations) + list(
+            self.context.events
+        )
+        self._pending_degradations = []
         rungs = sum(
             len(stream.rel) for stream in self._chains.values()
         )

@@ -35,7 +35,7 @@ import json
 import os
 import platform
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -99,6 +99,7 @@ class Measurement:
     point: GridPoint
     kernel: str  # "build" | "qb" | "ob" | "ct" | "mc"
     seconds: float
+    backend: str = "scipy"  # linear-algebra backend the kernel ran on
 
 
 @dataclass(frozen=True)
@@ -148,24 +149,35 @@ class CalibrationResult:
 
 
 def default_grid(smoke: bool = False) -> List[GridPoint]:
-    """The measurement grid: states x nnz x horizon x object count."""
+    """The measurement grid: states x nnz x horizon x object count.
+
+    A few *dense* points (degree a sizable fraction of the state
+    count) ride along so the per-backend fits see the regime the
+    native dense kernels are built for; an all-sparse grid would make
+    the native coefficient set pessimistic everywhere.
+    """
     if smoke:
         states = (400, 1500)
         degrees = (4,)
         horizons = (12, 36)
         objects = (1, 16, 128)
+        dense = [GridPoint(300, 75, 12, 64)]
     else:
         states = (500, 2000, 6000)
         degrees = (3, 9)
         horizons = (16, 64)
         objects = (1, 8, 64, 512)
+        dense = [
+            GridPoint(400, 100, 16, 128),
+            GridPoint(800, 200, 16, 256),
+        ]
     return [
         GridPoint(s, d, h, o)
         for s in states
         for d in degrees
         for h in horizons
         for o in objects
-    ]
+    ] + dense
 
 
 # ----------------------------------------------------------------------
@@ -215,12 +227,19 @@ def _timed(callable_, repeats: int) -> float:
 def measure_grid(
     config: Optional[CalibrationConfig] = None,
     grid: Optional[Sequence[GridPoint]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> List[Measurement]:
-    """Time every kernel at every grid point.
+    """Time every kernel at every grid point, per installed backend.
 
     The kernels run exactly as queries run them -- through
     :mod:`repro.core.batch` over the shared operator layer -- with
-    matrices pre-built so the build cost is its own measurement.
+    matrices pre-built so the build cost is its own measurement.  The
+    exact kernels (qb/ob/ct) are timed once per backend in
+    ``backends`` (default: scipy plus native when installed), so
+    :func:`calibrate` can grow one coefficient set per backend; build
+    and Monte-Carlo rows are backend-independent (construction and
+    sampling never touch the product kernels) and are duplicated into
+    every backend's set to keep each design matrix well-posed.
     """
     from repro.core.batch import (
         batch_ktimes_distribution,
@@ -232,8 +251,14 @@ def measure_grid(
     from repro.core.matrices import build_absorbing_matrices
     from repro.core.observation import Observation, ObservationSet
 
+    from repro.linalg.ops import available_backends
+
     config = config or CalibrationConfig()
     grid = list(grid) if grid is not None else default_grid(config.smoke)
+    if backends is None:
+        backends = ["scipy"] + (
+            ["native"] if "native" in available_backends() else []
+        )
     rng = np.random.default_rng(config.seed)
     measurements: List[Measurement] = []
     for point in grid:
@@ -248,31 +273,11 @@ def measure_grid(
             lambda: build_absorbing_matrices(chain, window.region),
             config.repeats,
         )
-        matrices = build_absorbing_matrices(chain, window.region)
-        qb_seconds = _timed(
-            lambda: batch_qb_exists(
-                chain, initials, window, matrices=matrices
-            ),
-            config.repeats,
-        )
-        ob_seconds = _timed(
-            lambda: batch_ob_exists(
-                chain, initials, window, matrices=matrices
-            ),
-            config.repeats,
-        )
-        measurements.append(Measurement(point, "build", build_seconds))
-        measurements.append(Measurement(point, "qb", qb_seconds))
-        measurements.append(Measurement(point, "ob", ob_seconds))
-        # k-times: one shared suffix-count pass + one dot per object
-        # (cheap at every grid point -- no cap needed)
-        ct_seconds = _timed(
-            lambda: batch_ktimes_distribution(
-                chain, initials, window
-            ),
-            config.repeats,
-        )
-        measurements.append(Measurement(point, "ct", ct_seconds))
+        for backend in backends:
+            measurements.append(
+                Measurement(point, "build", build_seconds, backend)
+            )
+        mc_seconds: Optional[float] = None
         # Monte-Carlo rows only where sampling stays cheap: the fit
         # needs coverage, not another quadratic sweep
         if (
@@ -295,7 +300,53 @@ def measure_grid(
                 ),
                 config.repeats,
             )
-            measurements.append(Measurement(point, "mc", mc_seconds))
+        for backend in backends:
+            # the OB forward stack adopts the backend carried by the
+            # matrices, so the prebuild must happen per backend too
+            matrices = build_absorbing_matrices(
+                chain, window.region, backend
+            )
+            qb_seconds = _timed(
+                lambda: batch_qb_exists(
+                    chain,
+                    initials,
+                    window,
+                    matrices=matrices,
+                    backend=backend,
+                ),
+                config.repeats,
+            )
+            ob_seconds = _timed(
+                lambda: batch_ob_exists(
+                    chain,
+                    initials,
+                    window,
+                    matrices=matrices,
+                    backend=backend,
+                ),
+                config.repeats,
+            )
+            measurements.append(
+                Measurement(point, "qb", qb_seconds, backend)
+            )
+            measurements.append(
+                Measurement(point, "ob", ob_seconds, backend)
+            )
+            # k-times: one shared suffix-count pass + one dot per
+            # object (cheap at every grid point -- no cap needed)
+            ct_seconds = _timed(
+                lambda: batch_ktimes_distribution(
+                    chain, initials, window, backend=backend
+                ),
+                config.repeats,
+            )
+            measurements.append(
+                Measurement(point, "ct", ct_seconds, backend)
+            )
+            if mc_seconds is not None:
+                measurements.append(
+                    Measurement(point, "mc", mc_seconds, backend)
+                )
     return measurements
 
 
@@ -428,6 +479,17 @@ def _write_calibration(
             name: getattr(model, name)
             for name in CALIBRATED_COEFFICIENTS
         },
+        # one fitted set per measured backend; the flat
+        # "coefficients" above stay the scipy set so files written
+        # here load unchanged into older readers, and files written
+        # by older calibrators (no "backends" section) load as
+        # scipy-only -- see CostModel.from_calibration
+        "backends": {
+            backend: {"coefficients": dict(coefficients)}
+            for backend, coefficients in sorted(
+                (model.backend_coefficients or {}).items()
+            )
+        },
         # fitted coefficients are seconds-per-unit-load, so the
         # dispatch threshold becomes a wall-time bound: estimated
         # serial kernel time past which forking a pool pays off
@@ -481,9 +543,33 @@ def calibrate(
     training = [
         m for m in measurements if m.point not in holdout_set
     ]
-    model = fit(training, config)
+    # one coefficient set per measured backend; the scipy set stays
+    # the model's flat (default) coefficients for back-compat
+    by_backend: Dict[str, List[Measurement]] = {}
+    for measurement in training:
+        by_backend.setdefault(measurement.backend, []).append(
+            measurement
+        )
+    fitted_models = {
+        backend: fit(rows, config)
+        for backend, rows in sorted(by_backend.items())
+    }
+    backend_sets = {
+        backend: {
+            name: getattr(fitted, name)
+            for name in CALIBRATED_COEFFICIENTS
+        }
+        for backend, fitted in fitted_models.items()
+    }
+    model = replace(
+        fitted_models["scipy"], backend_coefficients=backend_sets
+    )
+    # holdout argmin accuracy is judged on the default (scipy)
+    # backend's observed times
     by_point: Dict[GridPoint, Dict[str, float]] = {}
     for measurement in measurements:
+        if measurement.backend != "scipy":
+            continue
         by_point.setdefault(measurement.point, {})[
             measurement.kernel
         ] = measurement.seconds
@@ -516,6 +602,7 @@ def calibrate(
                 for name in CALIBRATED_COEFFICIENTS
             },
             process_min_cost=PROCESS_MIN_COST_SECONDS,
+            backend_coefficients=model.backend_coefficients,
             calibrated_from=target,
         )
     return result
@@ -533,8 +620,16 @@ def bench_payload(result: CalibrationResult) -> Dict:
             name: getattr(result.model, name)
             for name in CALIBRATED_COEFFICIENTS
         },
+        "backends": sorted(
+            (result.model.backend_coefficients or {"scipy": {}})
+        ),
         "measurements": [
-            {**asdict(m.point), "kernel": m.kernel, "seconds": m.seconds}
+            {
+                **asdict(m.point),
+                "kernel": m.kernel,
+                "seconds": m.seconds,
+                "backend": m.backend,
+            }
             for m in result.measurements
         ],
     }

@@ -548,7 +548,7 @@ def _invalidate_executor(executor: ProcessPoolExecutor) -> None:
             _EXECUTOR_BROKEN = True
 
 
-def prewarm(max_workers: int) -> None:
+def prewarm(max_workers: int, compile_native: bool = True) -> None:
     """Build the persistent worker pool ahead of the first dispatch.
 
     The first ``dispatch="process"`` evaluation of a session pays the
@@ -558,7 +558,23 @@ def prewarm(max_workers: int) -> None:
     cost lands outside any latency-sensitive window.  No-op when a
     pool with at least ``max_workers`` workers is already up; safe
     without scipy (the pool itself has no backend dependency).
+
+    With ``compile_native`` (the default) the ``native`` backend's
+    kernels are also compiled/exercised on tiny inputs
+    (:func:`repro.linalg.native.prewarm`) *before* the pool forks, so
+    first-query latency never eats the JIT cost and fork-spawned
+    workers inherit the warm kernels (numba's ``cache=True`` persists
+    the machine code for spawn-start pools too).  Kernel prewarm never
+    raises -- a backend that cannot compile simply degrades to scipy
+    at execution time.
     """
+    if compile_native:
+        try:
+            from repro.linalg import native as _native
+
+            _native.prewarm()
+        except Exception:  # pragma: no cover - defensive: never block
+            pass
     executor, owned = _acquire_executor(max_workers)
     _release_executor(executor, owned)
 
@@ -988,6 +1004,10 @@ def run_groups_in_processes(
             k-times groups, whose stacked sweep needs only the chain
             CSR) and ``objects`` single-observation
             :class:`~repro.database.objects.UncertainObject` lists.
+            An optional fifth element overrides ``backend`` per group
+            (the planner's per-group backend decision) -- workers
+            rehydrating the shard adopt that backend's kernels on
+            their shared-memory CSR views.
         window: the evaluated window.
         max_workers: pool size.
         shard_min_objects: smallest within-chain shard; stacked-sweep
@@ -1102,9 +1122,11 @@ def run_groups_in_processes(
             _submit(index)
 
     try:
-        for task_index, (chain, matrices, objects, method) in enumerate(
-            tasks
-        ):
+        for task_index, task_tuple in enumerate(tasks):
+            chain, matrices, objects, method = task_tuple[:4]
+            task_backend = (
+                task_tuple[4] if len(task_tuple) > 4 else backend
+            )
             group_seconds.append(0.0)
             if not objects:
                 continue
@@ -1112,7 +1134,9 @@ def run_groups_in_processes(
             _fire_published(chain_handle, "chain")
             if matrices is not None:
                 minus_h, plus_h, minus_t_h, plus_t_h = (
-                    publisher.absorbing(chain, matrices, backend, lease)
+                    publisher.absorbing(
+                        chain, matrices, task_backend, lease
+                    )
                 )
                 _fire_published(minus_h, "absorbing")
             else:  # ct: the chain CSR is the whole matrix payload
@@ -1167,7 +1191,7 @@ def run_groups_in_processes(
                         region=tuple(sorted(window.region)),
                         times=tuple(sorted(window.times)),
                         method=method,
-                        backend=backend,
+                        backend=task_backend,
                         verify=policy.verify_segments,
                         faults=faults,
                     )

@@ -45,6 +45,7 @@ from repro.core.matrices import (
     build_absorbing_matrices,
     build_doubled_matrices,
 )
+from repro.linalg import native as native_kernels
 from repro.linalg.ops import matvec
 from repro.linalg.sparse import CSRMatrix
 
@@ -311,6 +312,11 @@ class _ForwardStack:
     def __init__(self, matrices, n_objects: int) -> None:
         self.matrices = matrices
         self._transposed = not isinstance(matrices.m_minus, CSRMatrix)
+        # the backend travels with the matrices, so shard workers that
+        # rehydrate a published CSR adopt the compiled kernels too
+        self._native = (
+            getattr(matrices.backend, "name", None) == "native"
+        )
         if self._transposed:
             self.stack = np.zeros(
                 (matrices.size, n_objects), dtype=float
@@ -347,7 +353,10 @@ class _ForwardStack:
         if self._transposed:
             minus_t, plus_t = self.matrices.transposed()
             matrix = plus_t if time in times else minus_t
-            self.stack = matrix @ self.stack
+            if self._native:
+                self.stack = native_kernels.spmm(matrix, self.stack)
+            else:
+                self.stack = matrix @ self.stack
         else:
             self.stack = np.asarray(
                 self.matrices.backend.matmat(
@@ -449,6 +458,9 @@ class BackwardSweep(Operator):
                 f"query time {window.t_start} precedes start_time "
                 f"{wanted[-1]}"
             )
+        use_backend = backend or getattr(
+            matrices.backend, "name", None
+        )
         vector = np.zeros(matrices.size, dtype=float)
         vector[matrices.top_index] = 1.0
         result: Dict[int, np.ndarray] = {}
@@ -459,7 +471,9 @@ class BackwardSweep(Operator):
             matrix = matrices.matrix_for_target_time(
                 time + 1, window.times
             )
-            vector = np.asarray(matvec(matrix, vector), dtype=float)
+            vector = np.asarray(
+                matvec(matrix, vector, backend=use_backend), dtype=float
+            )
             if time in remaining:
                 result[time] = vector.copy()
         return result
@@ -555,10 +569,15 @@ class KTimesSweep(Operator):
 
         visit(schedule.first)
         for time in range(schedule.first + 1, schedule.last + 1):
-            flat = np.asarray(
-                transpose @ stack.reshape(n, live * n_objects),
-                dtype=float,
-            )
+            if backend == "native":
+                flat = native_kernels.spmm(
+                    transpose, stack.reshape(n, live * n_objects)
+                )
+            else:
+                flat = np.asarray(
+                    transpose @ stack.reshape(n, live * n_objects),
+                    dtype=float,
+                )
             stack = flat.reshape(n, live, n_objects)
             visit(time)
         result = np.zeros((n_objects, schedule.n_rows), dtype=float)
@@ -623,7 +642,15 @@ class KTimesCore(Operator):
         remaining = set(wanted)
         result: Dict[int, np.ndarray] = {}
         for target in range(window.t_end, wanted[0], -1):
-            if target in window.times:
+            if backend == "native":
+                # fused count-row update: shift + product in one kernel
+                if target in window.times:
+                    block = native_kernels.ktimes_update(
+                        matrix, block, columns
+                    )
+                else:
+                    block = native_kernels.spmm(matrix, block)
+            elif target in window.times:
                 shifted = block.copy()
                 shifted[columns, 1:] = block[columns, :-1]
                 shifted[columns, 0] = 0.0
@@ -667,9 +694,12 @@ class PosteriorCollapse(Operator):
         transpose = chain.transpose_matrix()
         for observation in observations.after(time):
             while time < observation.time:
-                vector = np.asarray(
-                    transpose @ vector, dtype=float
-                ).reshape(-1)
+                if backend == "native":
+                    vector = native_kernels.matvec(transpose, vector)
+                else:
+                    vector = np.asarray(
+                        transpose @ vector, dtype=float
+                    ).reshape(-1)
                 time += 1
             vector = vector * np.asarray(
                 observation.distribution.vector, dtype=float
@@ -743,6 +773,8 @@ class LadderExtend(Operator):
         for _step in range(steps):
             if isinstance(m_minus, CSRMatrix):
                 vector = np.asarray(matvec(m_minus, vector), dtype=float)
+            elif backend == "native":
+                vector = native_kernels.matvec(m_minus, vector)
             else:
                 vector = np.asarray(m_minus @ vector, dtype=float)
             rungs.append(vector)

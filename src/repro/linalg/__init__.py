@@ -18,6 +18,7 @@ from repro.linalg.ops import (
     available_backends,
     get_backend,
     matvec,
+    spmm,
     vecmat,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "available_backends",
     "get_backend",
     "matvec",
+    "spmm",
     "vecmat",
 ]

@@ -46,6 +46,16 @@ from repro.service.tenants import TenantAccount, TenantLedger
 __all__ = ["QueryService", "ServiceStandingQuery"]
 
 
+def _prewarm_native() -> None:
+    """Compile/warm the native kernels; never raises (startup path)."""
+    try:
+        from repro.linalg import native
+
+        native.prewarm()
+    except Exception:
+        pass
+
+
 class QueryService:
     """Concurrent front end over one :class:`QueryEngine`.
 
@@ -138,9 +148,13 @@ class QueryService:
             )
         if self._loop_task is None:
             self._wakeup = asyncio.Event()
-            self._loop_task = asyncio.get_running_loop().create_task(
-                self._broker_loop()
-            )
+            loop = asyncio.get_running_loop()
+            self._loop_task = loop.create_task(self._broker_loop())
+            # warm the native linear-algebra kernels on the executor
+            # (tiny-input AOT compile + dense-cache priming) so the
+            # first admitted query never pays the compile; failures
+            # are irrelevant here -- the pipeline degrades to scipy
+            loop.run_in_executor(self._executor, _prewarm_native)
         return self
 
     async def stop(self, drain: bool = True) -> None:
@@ -349,10 +363,41 @@ class QueryService:
     async def _execute_group(self, group: FusedGroup) -> None:
         """Run one fused evaluation and demultiplex the answers."""
         loop = asyncio.get_running_loop()
-        representative = group.requests[0]
+        # mid-queue deadline enforcement: a request admitted in time
+        # can still expire while the queue ahead of it drains; failing
+        # it *before* the evaluation keeps the deadline a promise
+        # rather than a hint, and costs the caller nothing (settled at
+        # 0s).  The rest of the fused group still executes.
+        now = loop.time()
+        live: List[PendingRequest] = []
+        for request in group.requests:
+            if (
+                request.deadline_at is not None
+                and now > request.deadline_at
+            ):
+                self.ledger.settle(
+                    request.tenant,
+                    request.predicted_seconds,
+                    0.0,
+                    False,
+                )
+                self.ledger.account(request.tenant).rejected += 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        AdmissionRejected(
+                            f"deadline passed while queued: waited "
+                            f"{now - request.submitted_at:.3g}s",
+                            reason="deadline",
+                        )
+                    )
+            else:
+                live.append(request)
+        if not live:
+            return
+        representative = live[0]
         started = loop.time()
         self.evaluations += 1
-        fused = len(group.requests) > 1
+        fused = len(live) > 1
         if fused:
             self.fused_calls += 1
         try:
@@ -363,7 +408,7 @@ class QueryService:
                 ),
             )
         except Exception as exc:
-            for request in group.requests:
+            for request in live:
                 self.ledger.settle(
                     request.tenant, request.predicted_seconds, 0.0, fused
                 )
@@ -371,16 +416,17 @@ class QueryService:
                     request.future.set_exception(exc)
             return
         elapsed = loop.time() - started
-        share = elapsed / len(group.requests)
+        share = elapsed / len(live)
         shared_events: List[str] = []
         if fused:
+            tenants = {request.tenant for request in live}
             shared_events.append(
-                f"fused {len(group.requests)} requests from "
-                f"{len(group.tenants)} tenant(s) within "
+                f"fused {len(live)} requests from "
+                f"{len(tenants)} tenant(s) within "
                 f"{self.fusion_window_ms:g} ms window "
                 f"(fingerprint {group.fingerprint})"
             )
-        for request in group.requests:
+        for request in live:
             self.ledger.settle(
                 request.tenant, request.predicted_seconds, share, fused
             )

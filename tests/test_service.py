@@ -398,6 +398,43 @@ class TestAdmission:
 
         assert run(main()).values
 
+    def test_mid_queue_deadline_fails_fast_but_group_survives(self):
+        """A deadline that expires while queued fails at drain time.
+
+        The doomed request is rejected with ``reason="deadline"``
+        without running, is refunded (settled at 0s), and the other
+        member of the same fused group still executes and answers.
+        """
+        database = build_database(seed=9, n_objects=12)
+        engine = QueryEngine(database)
+        query = PSTExistsQuery(WINDOW)
+
+        async def main():
+            async with QueryService(
+                engine, fusion_window_ms=200.0
+            ) as service:
+                doomed = asyncio.ensure_future(
+                    service.submit(
+                        query, tenant="late", deadline_seconds=0.02
+                    )
+                )
+                alive = asyncio.ensure_future(
+                    service.submit(query, tenant="punctual")
+                )
+                results = await asyncio.gather(
+                    doomed, alive, return_exceptions=True
+                )
+                return results, service.tenant("late")
+
+        (doomed_result, alive_result), late = run(main())
+        assert isinstance(doomed_result, AdmissionRejected)
+        assert doomed_result.reason == "deadline"
+        assert "while queued" in str(doomed_result)
+        assert alive_result.values
+        assert late.rejected == 1
+        # settled at zero: the failed request cost the tenant nothing
+        assert late.charged_seconds == pytest.approx(0.0)
+
     def test_backlog_shedding_spares_fusable_requests(self):
         database = build_database(seed=8, n_objects=12)
         engine = QueryEngine(database)
