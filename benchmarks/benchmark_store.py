@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""Out-of-core sharded store scatter vs single-process in-RAM.
+
+Three gates from the ISSUE-10 acceptance criteria:
+
+1. **Parity.** The same randomized workload is answered twice: by a
+   plain in-RAM :class:`~repro.database.TrajectoryDatabase` evaluated
+   single-process, and by a :class:`~repro.store.ShardedTrajectoryStore`
+   (>= 8 shards) scattered over the worker pool, where each worker
+   memory-maps its shard's columnar slabs zero-copy.  Every object
+   must agree to 1e-12 and the plan must actually have scattered
+   (``plan.store_stats["shards"] >= 8``).
+
+2. **Speedup.** On machines with >= 4 cores, the full (non ``--smoke``)
+   configuration requires the sharded scatter to beat the
+   single-process in-RAM evaluation by >= 2x.  ``--smoke`` never gates
+   speedup: a tens-of-milliseconds workload measures pool overhead,
+   not scaling -- smoke's job is parity and machinery coverage in CI.
+
+3. **Out-of-core.** A child process opens the same store with
+   ``REPRO_STORE_RAM_CAP`` set *below* the total slab bytes (and, with
+   ``--low-memory``, a hard ``RLIMIT_AS`` address-space ceiling -- LRU
+   eviction unmaps slabs, so even virtual size stays bounded).  The
+   child must answer exactly while the slab pool reports resident and
+   high-water bytes at or under the cap with evictions observed --
+   i.e. the dataset was genuinely paged through a bounded window
+   rather than held resident.
+
+Everything lands in ``BENCH_store.json``.
+
+Run:  PYTHONPATH=src python benchmarks/benchmark_store.py [--smoke]
+      [--low-memory]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import PlanOptions, PSTExistsQuery, QueryEngine
+from repro.store import ShardedTrajectoryStore, store_health
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    make_synthetic_database,
+)
+
+from _bench_result import bench_name, write_result
+
+REQUIRED_SPEEDUP = 2.0
+MIN_CORES_FOR_GATE = 4
+MIN_SHARDS = 8
+PARITY_BOUND = 1e-12
+
+# the out-of-core child: sets the slab-pool cap (and optionally a hard
+# address-space rlimit) BEFORE importing numpy/scipy, answers the
+# query single-process from the store, and reports values + pool
+# accounting as JSON on stdout
+_CHILD = r"""
+import json, os, resource, sys
+store_dir, cap, limit_as = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+lo, hi, tlo, thi = (int(v) for v in sys.argv[4].split(","))
+os.environ["REPRO_STORE_RAM_CAP"] = str(cap)
+if limit_as > 0:
+    resource.setrlimit(resource.RLIMIT_AS, (limit_as, limit_as))
+from repro import PlanOptions, PSTExistsQuery, QueryEngine
+from repro.store import ShardedTrajectoryStore
+from repro.store.slabs import global_pool
+store = ShardedTrajectoryStore(store_dir)
+engine = QueryEngine(store)
+result = engine.evaluate(
+    PSTExistsQuery.from_ranges(lo, hi, tlo, thi),
+    options=PlanOptions(dispatch="serial"),
+)
+print(json.dumps({
+    "values": {k: float(v) for k, v in result.values.items()},
+    "pool": global_pool().stats(),
+    "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                      * 1024,
+}))
+"""
+
+
+def _time(engine, query, options, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.evaluate(query, options=options)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _out_of_core(
+    store_dir: Path,
+    window: tuple,
+    limit_as: int,
+) -> Dict[str, object]:
+    health = store_health(store_dir)
+    manifest = json.loads((store_dir / "manifest.json").read_text())
+    snapshot = store_dir / f"snapshot-{manifest['generation']:06d}"
+    # the slabs a read actually maps: the observation columns (the
+    # other shard files are decoded eagerly at attach, not pooled)
+    per_shard = []
+    sizes = []
+    for entry in manifest["shards"]:
+        shard_dir = snapshot / entry["shard_id"]
+        shard_sizes = [
+            (shard_dir / name).stat().st_size
+            for name in ("obs_states.npy", "obs_weights.npy")
+        ]
+        sizes.extend(shard_sizes)
+        per_shard.append(sum(shard_sizes))
+    total = sum(per_shard)
+    # below the total (forces paging) but above the largest shard's
+    # working set (a query must be able to read its own shard)
+    cap = max(total // 2, max(per_shard) + min(sizes))
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD,
+            str(store_dir),
+            str(cap),
+            str(limit_as),
+            ",".join(str(v) for v in window),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"out-of-core child failed (rc {completed.returncode}):\n"
+            f"{completed.stderr}"
+        )
+    report = json.loads(completed.stdout)
+    report["cap_bytes"] = cap
+    report["total_slab_bytes"] = total
+    report["limit_as_bytes"] = limit_as
+    report["journal_records"] = health["journal_records"]
+    return report
+
+
+def run(
+    n_objects: int,
+    n_states: int,
+    repeats: int,
+    required_speedup: Optional[float],
+    limit_as: int,
+    smoke: bool,
+) -> int:
+    cores = os.cpu_count() or 1
+    workers = max(2, min(8, cores))
+    database = make_synthetic_database(
+        SyntheticConfig(
+            n_objects=n_objects, n_states=n_states, seed=17
+        )
+    )
+    window = (
+        n_states // 4,
+        n_states // 4 + max(10, n_states // 12),
+        6,
+        10,
+    )
+    query = PSTExistsQuery.from_ranges(*window)
+    # filters off and OB forced: both sides run the identical exact
+    # sweep over every object, so the storage/dispatch tier is the
+    # only variable being measured
+    base = dict(method="ob", prefilter=False, bfs_prune=False)
+    serial_opts = PlanOptions(**base, dispatch="serial")
+    scatter_opts = PlanOptions(
+        **base, dispatch="process", max_workers=workers
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ShardedTrajectoryStore.create(
+            Path(tmp) / "store", database, shards_per_chain=8
+        )
+        n_shards = store_health(store.path)["shards"]
+        print(
+            f"workload: {n_objects} objects, {n_states} states, "
+            f"{n_shards} shards, window "
+            f"[{window[0]},{window[1]}] x [{window[2]},{window[3]}], "
+            f"{cores} cores, {workers} workers, best of {repeats}"
+        )
+        assert n_shards >= MIN_SHARDS, (
+            f"expected >= {MIN_SHARDS} shards, got {n_shards}"
+        )
+
+        ram_engine = QueryEngine(database)
+        store_engine = QueryEngine(store)
+        # warm pool + plan caches so fork one-time costs are amortised
+        ram_result = ram_engine.evaluate(query, options=serial_opts)
+        store_result = store_engine.evaluate(
+            query, options=scatter_opts
+        )
+        store_stats = store_result.plan.store_stats or {}
+        assert store_stats.get("shards", 0) >= MIN_SHARDS, (
+            f"query did not scatter over the store: {store_stats}"
+        )
+        worst = max(
+            abs(
+                store_result.values[object_id]
+                - ram_result.values[object_id]
+            )
+            for object_id in database.object_ids
+        )
+        assert worst <= PARITY_BOUND, (
+            f"store-scatter parity broken: {worst}"
+        )
+
+        seconds = {
+            "in_ram_serial": _time(
+                ram_engine, query, serial_opts, repeats
+            ),
+            "store_scatter": _time(
+                store_engine, query, scatter_opts, repeats
+            ),
+        }
+        speedup = (
+            seconds["in_ram_serial"] / seconds["store_scatter"]
+        )
+        for name, value in seconds.items():
+            print(f"{name:>14}: {value * 1e3:9.1f} ms")
+        gated = (
+            required_speedup is not None
+            and cores >= MIN_CORES_FOR_GATE
+        )
+        if gated:
+            note = f"(required: {required_speedup:.1f}x)"
+        elif required_speedup is None:
+            note = "(smoke: parity only, speedup not gated)"
+        else:
+            note = f"(gate skipped: {cores} < {MIN_CORES_FOR_GATE})"
+        print(f"scatter vs in-RAM: {speedup:5.2f}x  {note}")
+        print(f"max |delta|      : {worst:.2e}")
+        print(
+            f"shards: {store_stats.get('shards')}, fresh attaches: "
+            f"{store_stats.get('fresh_attaches')}, prefilter/bfs "
+            f"pruned: {store_stats.get('prefilter_pruned')}/"
+            f"{store_stats.get('bfs_pruned')}"
+        )
+
+        print("out-of-core: re-answering under REPRO_STORE_RAM_CAP ...")
+        capped = _out_of_core(store.path, window, limit_as)
+        pool = capped["pool"]
+        cap = capped["cap_bytes"]
+        worst_capped = max(
+            abs(
+                capped["values"][object_id]
+                - ram_result.values[object_id]
+            )
+            for object_id in database.object_ids
+        )
+        print(
+            f"cap {cap} of {capped['total_slab_bytes']} slab bytes: "
+            f"high water {pool['high_water_bytes']}, "
+            f"{pool['evictions']} eviction(s), peak RSS "
+            f"{capped['peak_rss_bytes'] / 1e6:.0f} MB"
+            + (
+                f", RLIMIT_AS {limit_as / 1e9:.1f} GB"
+                if limit_as
+                else ""
+            )
+        )
+        assert worst_capped <= PARITY_BOUND, (
+            f"capped parity broken: {worst_capped}"
+        )
+        assert pool["high_water_bytes"] <= cap, (
+            f"slab residency exceeded the cap: "
+            f"{pool['high_water_bytes']} > {cap}"
+        )
+        assert pool["mapped_bytes"] <= cap
+        assert pool["evictions"] > 0, (
+            "cap below total slab bytes but nothing was evicted"
+        )
+
+    write_result(bench_name(__file__), {
+        "kind": "standalone",
+        "smoke": smoke,
+        "config": {
+            "n_objects": n_objects,
+            "n_states": n_states,
+            "n_shards": n_shards,
+            "repeats": repeats,
+            "cores": cores,
+            "workers": workers,
+            "limit_as_bytes": limit_as,
+        },
+        "in_ram_serial_seconds": seconds["in_ram_serial"],
+        "store_scatter_seconds": seconds["store_scatter"],
+        "speedup_scatter_vs_in_ram": speedup,
+        "required_speedup": required_speedup if gated else None,
+        "max_abs_delta": worst,
+        "store_stats": store_stats,
+        "out_of_core": {
+            "cap_bytes": capped["cap_bytes"],
+            "total_slab_bytes": capped["total_slab_bytes"],
+            "pool": pool,
+            "peak_rss_bytes": capped["peak_rss_bytes"],
+            "max_abs_delta": worst_capped,
+        },
+    })
+
+    if gated and speedup < required_speedup:
+        print(
+            f"FAIL: store-scatter speedup {speedup:.2f}x below "
+            f"required {required_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="out-of-core sharded store scatter vs "
+                    "single-process in-RAM evaluation"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI configuration (parity + out-of-core "
+             "gates only; speedup reported, not gated)",
+    )
+    parser.add_argument(
+        "--low-memory",
+        action="store_true",
+        help="run the out-of-core child under a hard RLIMIT_AS "
+             "address-space ceiling as well as the slab-pool cap",
+    )
+    parser.add_argument(
+        "--limit-as",
+        type=int,
+        default=3 << 30,
+        help="RLIMIT_AS bytes for --low-memory (default 3 GiB: "
+             "interpreter + numpy/scipy + a bounded slab window)",
+    )
+    parser.add_argument("--objects", type=int, default=None)
+    parser.add_argument("--states", type=int, default=None)
+    args = parser.parse_args(argv)
+    limit_as = args.limit_as if args.low_memory else 0
+    if args.smoke:
+        return run(
+            n_objects=args.objects or 120,
+            n_states=args.states or 500,
+            repeats=2,
+            required_speedup=None,
+            limit_as=limit_as,
+            smoke=True,
+        )
+    return run(
+        n_objects=args.objects or 1_200,
+        n_states=args.states or 3_000,
+        repeats=3,
+        required_speedup=REQUIRED_SPEEDUP,
+        limit_as=limit_as,
+        smoke=False,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,8 +96,17 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-sweep",
         action="store_true",
-        help="doctor: report orphaned shared-memory segments without "
-             "unlinking them",
+        help="doctor: report orphaned shared-memory segments and "
+             "stale store snapshots without removing them",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="doctor: also report the health of the sharded "
+             "trajectory store at this path (shard count, slab and "
+             "journal bytes, mapped-slab residency, stale snapshot "
+             "generations) and sweep the stale generations",
     )
     parser.add_argument(
         "--costmodel-path",
@@ -260,6 +269,43 @@ def _run_doctor(args) -> int:
         f"({stats['segments']} segment(s))\n"
         f"leaked bytes  : {stats['orphan_bytes']}"
     )
+    if args.store is not None:
+        from repro.store.sharded import (
+            store_health,
+            sweep_stale_snapshots,
+        )
+
+        report = store_health(args.store)
+        pool = report["pool"]
+        print(
+            f"store         : {report['path']} "
+            f"(id={report['store_id']}, "
+            f"generation={report['generation']})\n"
+            f"  shards      : {report['shards']} holding "
+            f"{report['objects']} object(s), "
+            f"{report['slab_bytes']} slab bytes\n"
+            f"  journal     : {report['journal_records']} record(s), "
+            f"{report['journal_bytes']} bytes\n"
+            f"  residency   : {pool['mapped_slabs']} slab(s) mapped, "
+            f"{pool['mapped_bytes']} mapped bytes "
+            f"(high water {pool['high_water_bytes']}), "
+            f"{pool['evictions']} eviction(s)"
+        )
+        stale = report["stale_snapshots"]
+        if stale:
+            print(
+                f"  stale       : {len(stale)} snapshot "
+                f"generation(s), {report['stale_snapshot_bytes']} "
+                f"bytes: {', '.join(stale)}"
+            )
+            if not args.no_sweep:
+                removed, freed = sweep_stale_snapshots(args.store)
+                print(
+                    f"  swept {removed} stale snapshot(s), "
+                    f"reclaimed {freed} bytes"
+                )
+        else:
+            print("  stale       : none")
     return 0 if stats["orphan_bytes"] == 0 else 1
 
 

@@ -119,6 +119,37 @@ class StateDistribution:
             vector[state] += float(weight)
         return cls(vector, normalize=normalize)
 
+    @classmethod
+    def from_support(
+        cls,
+        n_states: int,
+        states: Sequence[int],
+        weights: Sequence[float],
+        normalize: bool = False,
+    ) -> "StateDistribution":
+        """Build from parallel support/weight arrays (columnar storage).
+
+        The vectorised sibling of :meth:`from_dict`: shard workers and
+        the slab store hold distributions as ``(states, weights)``
+        column pairs and rebuild dense vectors from whole array slices
+        without a per-entry Python loop.
+        """
+        states = np.asarray(states, dtype=np.intp)
+        weights = np.asarray(weights, dtype=float)
+        if states.shape != weights.shape:
+            raise ValidationError(
+                f"{states.size} support states but {weights.size} weights"
+            )
+        if states.size and (
+            states.min() < 0 or states.max() >= int(n_states)
+        ):
+            raise ValidationError(
+                f"support states outside [0, {n_states})"
+            )
+        vector = np.zeros(int(n_states), dtype=float)
+        vector[states] = weights
+        return cls(vector, normalize=normalize)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

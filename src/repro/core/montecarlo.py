@@ -16,6 +16,8 @@ Figure 8(a).
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -88,6 +90,47 @@ class MonteCarloSampler:
     # too dense to fit fall back to grouped stepping
     _CDF_TABLE_MAX_BYTES = 128 * 1024 * 1024
 
+    # process-wide CDF tables keyed by chain *fingerprint*: every
+    # sampler instance over the same chain content shares one table
+    # (each keeps its own RNG, so sharing never couples seeded
+    # streams), and shard workers adopt tables the dispatcher
+    # published to shared memory instead of re-tabulating per worker
+    _TABLE_CACHE: "OrderedDict[str, Tuple[np.ndarray, np.ndarray]]" = (
+        OrderedDict()
+    )
+    _TABLE_CACHE_SIZE = 8
+    _TABLE_LOCK = threading.Lock()
+
+    @classmethod
+    def shared_cdf_tables(
+        cls, chain: MarkovChain
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The chain's ``(cdf, targets)`` tables, built at most once
+        per process (None when the chain is too dense to tabulate).
+
+        The parent dispatcher calls this to publish the tables into
+        shared memory exactly once per chain.
+        """
+        return cls(chain)._full_cdf()
+
+    @classmethod
+    def adopt_cdf_tables(
+        cls, fingerprint: str, cdf: np.ndarray, targets: np.ndarray
+    ) -> None:
+        """Install externally built tables under ``fingerprint``.
+
+        Shard workers adopt the zero-copy shared-memory views the
+        dispatcher published, so no worker ever re-tabulates a chain
+        the parent already did.  Adopted views are treated as
+        immutable (sampling only reads them).
+        """
+        with cls._TABLE_LOCK:
+            if fingerprint not in cls._TABLE_CACHE:
+                cls._TABLE_CACHE[fingerprint] = (cdf, targets)
+            cls._TABLE_CACHE.move_to_end(fingerprint)
+            while len(cls._TABLE_CACHE) > cls._TABLE_CACHE_SIZE:
+                cls._TABLE_CACHE.popitem(last=False)
+
     def __init__(
         self,
         chain: MarkovChain,
@@ -124,8 +167,19 @@ class MonteCarloSampler:
             n = self.chain.n_states
             counts = np.diff(matrix.indptr)
             width = int(counts.max())
+            # the size gate comes before the shared cache so an
+            # instance with a tightened limit still takes the grouped
+            # fallback even when another sampler tabulated this chain
             if n * width * 12 > self._CDF_TABLE_MAX_BYTES:
                 return None
+            fingerprint = self.chain.fingerprint()
+            with self._TABLE_LOCK:
+                cached = self._TABLE_CACHE.get(fingerprint)
+                if cached is not None:
+                    self._TABLE_CACHE.move_to_end(fingerprint)
+            if cached is not None:
+                self._cdf_table = cached
+                return self._cdf_table
             rows = np.repeat(np.arange(n), counts)
             columns = np.arange(matrix.nnz) - np.repeat(
                 matrix.indptr[:-1], counts
@@ -137,6 +191,7 @@ class MonteCarloSampler:
             targets = np.zeros((n, width), dtype=np.int32)
             targets[rows, columns] = matrix.indices
             self._cdf_table = (cdf, targets)
+            self.adopt_cdf_tables(fingerprint, cdf, targets)
         return self._cdf_table
 
     def _row_cdf(self, state: int) -> Tuple[np.ndarray, np.ndarray]:

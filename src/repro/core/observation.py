@@ -65,6 +65,27 @@ class Observation:
             StateDistribution.from_dict(n_states, weights, normalize=True),
         )
 
+    @classmethod
+    def from_support(
+        cls,
+        time: int,
+        n_states: int,
+        states: Iterable[int],
+        weights: Iterable[float],
+    ) -> "Observation":
+        """An observation from parallel support/weight columns.
+
+        Used by the sharded store and shard workers, which keep
+        observation distributions as columnar ``(states, weights)``
+        slices rather than dicts.
+        """
+        return cls(
+            time,
+            StateDistribution.from_support(
+                n_states, list(states), list(weights), normalize=True
+            ),
+        )
+
     @property
     def n_states(self) -> int:
         """Number of states of the underlying distribution."""

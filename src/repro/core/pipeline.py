@@ -272,16 +272,7 @@ class QueryPipeline:
     ) -> None:
         entering = sum(len(objs) for objs in survivors.values())
         started = _time.perf_counter()
-        seed_index = (
-            {
-                object_id: index
-                for index, object_id in enumerate(
-                    self.database.object_ids
-                )
-            }
-            if plan.options.seed is not None
-            else None
-        )
+        seed_index = self._seed_index(plan)
 
         mode = plan.dispatch if plan.parallel else "serial"
         pool_tasks: Optional[int] = None
@@ -371,16 +362,25 @@ class QueryPipeline:
                     values.update(run_group(group))
 
         if mode == "process":
-            # a process plan whose surviving work was all parent-side
-            # (multis/MC) must not claim pool execution in EXPLAIN
-            detail_mode = (
-                f"process x{plan.max_workers} "
-                f"({pool_tasks} pool task"
-                + ("s" if pool_tasks != 1 else "")
-                + ")"
-                if pool_tasks
-                else "process (parent-only)"
-            )
+            if plan.store_stats:
+                shards = plan.store_stats.get("shards", 0)
+                detail_mode = (
+                    f"store-scatter x{plan.max_workers} "
+                    f"({shards} shard" + ("s" if shards != 1 else "")
+                    + ")"
+                )
+            else:
+                # a process plan whose surviving work was all
+                # parent-side (k-times MC) must not claim pool
+                # execution in EXPLAIN
+                detail_mode = (
+                    f"process x{plan.max_workers} "
+                    f"({pool_tasks} pool task"
+                    + ("s" if pool_tasks != 1 else "")
+                    + ")"
+                    if pool_tasks
+                    else "process (parent-only)"
+                )
         elif mode == "thread":
             detail_mode = f"thread x{plan.max_workers}"
         else:
@@ -414,14 +414,20 @@ class QueryPipeline:
         """Process-pool evaluation; None when unavailable here, else
         the number of group tasks actually shipped to the pool.
 
-        Single-observation qb/ob objects and whole k-times chain
-        groups ship to the shared-memory workers (within-chain shards
-        for the stacked OB and CT sweeps); multi-observation and
-        Monte-Carlo objects -- a small minority whose payloads are not
-        shared-memory friendly -- run in the parent with the exact
-        same kernels, so parity is unconditional.  Each group's
-        ``elapsed_seconds`` becomes the summed worker-side shard
-        seconds plus any parent-side multi/MC kernel time.
+        A database that shards its own storage
+        (``supports_shard_scatter``) takes the store-scatter path:
+        persistent workers attach the store's slabs zero-copy and run
+        the whole prefilter -> BFS -> kernel pipeline shard-local
+        (:meth:`_evaluate_store_scatter`).  Otherwise single-
+        observation qb/ob objects and whole k-times chain groups ship
+        to the shared-memory workers (within-chain shards for the
+        stacked OB and CT sweeps), multi-observation groups ship as
+        stacked observation rows, and exists-MC groups ship with
+        their published CDF tables and per-object seeds; only
+        k-times-MC -- per-object resampling with no batched kernel --
+        stays in the parent.  Parity is unconditional either way.
+        Each group's ``elapsed_seconds`` becomes the summed
+        worker-side shard seconds plus any parent-side kernel time.
         """
         from repro.exec import dispatch as _dispatch
 
@@ -429,6 +435,13 @@ class QueryPipeline:
             return None
         if self.backend not in (None, "scipy"):
             return None
+
+        if getattr(self.database, "supports_shard_scatter", False):
+            scattered = self._evaluate_store_scatter(
+                plan, survivors, values, query, context, seed_index
+            )
+            if scattered is not None:
+                return scattered
 
         # the model the *planner* resolved (per-query override or
         # engine default) -- execution must shard by the same knobs
@@ -444,10 +457,24 @@ class QueryPipeline:
             if not objects:
                 continue
             chain = self.database.chain(group.chain_id)
-            if group.method == "mc":
-                parent_only.append(group)
-                continue
             group_backend = group.backend or self.backend
+            if group.method == "mc":
+                if plan.kind == "ktimes":
+                    # per-object resampling, no batched kernel to
+                    # shard: the parent's sampler serves the group
+                    parent_only.append(group)
+                    continue
+                tasks.append((
+                    chain, None, objects, "mc", group_backend,
+                    {
+                        "n_samples": plan.options.n_samples,
+                        "seeds": self._seeds(
+                            objects, plan, seed_index
+                        ),
+                    },
+                ))
+                task_groups.append(group)
+                continue
             if plan.kind == "ktimes":
                 # the stacked CT sweep needs only the chain CSR (the
                 # count dimension lives in the stack, not a matrix)
@@ -473,20 +500,12 @@ class QueryPipeline:
                 )
                 task_groups.append(group)
             if multis:
-                started = _time.perf_counter()
-                probabilities = batch_exists_multi(
-                    chain,
-                    [obj.observations for obj in multis],
-                    plan.window,
-                    backend=group_backend,
-                    plan_cache=self.plan_cache,
-                    context=context,
+                # Section VI groups ship as stacked observation rows
+                # and run the doubled-space sweep worker-side
+                tasks.append(
+                    (chain, None, multis, "multi", group_backend)
                 )
-                elapsed[group.chain_id] += (
-                    _time.perf_counter() - started
-                )
-                for obj, probability in zip(multis, probabilities):
-                    values[obj.object_id] = float(probability)
+                task_groups.append(group)
         for group in parent_only:
             chain = self.database.chain(group.chain_id)
             objects = survivors[group.chain_id]
@@ -541,6 +560,106 @@ class QueryPipeline:
         for group in plan.groups:
             group.elapsed_seconds = elapsed[group.chain_id]
         return len(tasks)
+
+    def _evaluate_store_scatter(
+        self,
+        plan: QueryPlan,
+        survivors: Dict[str, List[UncertainObject]],
+        values: Dict[str, ResultValue],
+        query,
+        context: ExecutionContext,
+        seed_index: Optional[Dict[str, int]],
+    ) -> Optional[int]:
+        """Scatter the query over a sharded store's slab shards.
+
+        Persistent workers memory-map the store's columnar slabs
+        (attached once per process, zero-copy across queries) and run
+        prefilter -> BFS -> kernel shard-local over every snapshot
+        object; journaled overlay objects -- added or re-observed
+        since the snapshot -- run in the parent with the exact same
+        kernels.  Snapshot objects the parent stages already zeroed
+        are re-evaluated shard-side; the filters are safe, so the
+        worker's exact answer equals the zero element and the
+        overwrite is a no-op.  Returns the shard count (the stage's
+        pool-task count) or ``None`` to fall through to the classic
+        publish path when the store holds no shards.
+        """
+        from repro.exec import dispatch as _dispatch
+
+        store = self.database
+        model = plan.cost_model or plan.options.cost_model or CostModel()
+        overlay = set(store.overlay_object_ids())
+        scatter_groups = []
+        elapsed: Dict[str, float] = {}
+        for group in plan.groups:
+            objects = survivors[group.chain_id]
+            group.survivors = len(objects)
+            elapsed[group.chain_id] = 0.0
+            method = group.method
+            if plan.kind == "ktimes" and method != "mc":
+                method = "ct"
+            scatter_groups.append(
+                (group.chain_id, method, group.backend or self.backend)
+            )
+        predicted = sum(
+            model.predict_seconds(group.costs.get(group.method, 0.0))
+            for group in plan.groups
+        )
+        shard_values, chain_seconds, stats = _dispatch.run_store_shards(
+            store,
+            scatter_groups,
+            plan.window,
+            plan.kind,
+            max_workers=plan.max_workers,
+            use_prefilter=plan.use_prefilter,
+            use_bfs=plan.use_bfs,
+            n_samples=plan.options.n_samples,
+            seed_base=plan.options.seed,
+            context=context,
+            policy=plan.options.supervisor,
+            predicted_seconds=predicted,
+            faults=plan.options.faults,
+        )
+        if not stats["shards"]:
+            return None  # empty store: all state lives in the overlay
+        if plan.kind == "ktimes":
+            shard_values = {
+                object_id: self._ktimes_value(distribution, query)
+                for object_id, distribution in shard_values.items()
+            }
+        values.update(shard_values)
+        for group in plan.groups:
+            subset = [
+                obj
+                for obj in survivors[group.chain_id]
+                if obj.object_id in overlay
+            ]
+            if not subset:
+                continue
+            chain = self.database.chain(group.chain_id)
+            started = _time.perf_counter()
+            if plan.kind == "ktimes":
+                values.update(
+                    self._ktimes_kernel(
+                        chain, group, subset, plan, query,
+                        seed_index, context,
+                    )
+                )
+            else:
+                values.update(
+                    self._exists_kernel(
+                        chain, group, subset, plan, seed_index,
+                        context,
+                    )
+                )
+            elapsed[group.chain_id] += _time.perf_counter() - started
+        for group in plan.groups:
+            group.elapsed_seconds = (
+                elapsed[group.chain_id]
+                + chain_seconds.get(group.chain_id, 0.0)
+            )
+        plan.store_stats = dict(stats)
+        return int(stats["shards"])
 
     def _exists_kernel(
         self,
@@ -706,6 +825,27 @@ class QueryPipeline:
 
             return point_mass
         return lambda: 0.0
+
+    def _seed_index(
+        self, plan: QueryPlan
+    ) -> Optional[Dict[str, int]]:
+        """Stable per-object seed offsets for seeded MC runs.
+
+        A sharded store publishes explicit positions
+        (``seed_positions()``) that survive re-sharding and re-opening;
+        plain databases fall back to insertion order.  Either way the
+        offset is a property of the *object*, not of the candidate
+        list, so estimates match across layouts and filter decisions.
+        """
+        if plan.options.seed is None:
+            return None
+        positions = getattr(self.database, "seed_positions", None)
+        if callable(positions):
+            return positions()
+        return {
+            object_id: index
+            for index, object_id in enumerate(self.database.object_ids)
+        }
 
     def _seeds(
         self,

@@ -667,6 +667,10 @@ class GroupPlan:
         elapsed_seconds: group kernel time (execution); under process
             dispatch, the summed worker-side shard seconds plus any
             parent-side multi/MC kernel time.
+        shard_count: for a sharded store, the number of non-empty
+            store shards holding this chain's objects -- the
+            cardinality the dispatch decision scatters over (``None``
+            for in-RAM databases).
     """
 
     chain_id: str
@@ -678,6 +682,7 @@ class GroupPlan:
     predicted_seconds: Optional[float] = None
     survivors: Optional[int] = None
     elapsed_seconds: Optional[float] = None
+    shard_count: Optional[int] = None
 
     @property
     def object_ids(self) -> List[str]:
@@ -761,6 +766,11 @@ class QueryPlan:
             of the request the plan was returned to).  Empty for
             plain library evaluations; rendered by :meth:`describe`
             so ``explain()`` shows what was merged and why.
+        store_stats: aggregate statistics of a store-scatter
+            execution (shard count, shard-local filter prunes, fresh
+            slab attaches, shard -> parent fallbacks); ``None`` unless
+            the query ran against a sharded store through the
+            zero-copy shard workers.
     """
 
     kind: str
@@ -783,6 +793,7 @@ class QueryPlan:
     auto_streamed: bool = False
     degradations: List[str] = field(default_factory=list)
     fusion: List[str] = field(default_factory=list)
+    store_stats: Optional[Dict[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.semantics is None:
@@ -889,6 +900,17 @@ class QueryPlan:
                 f"({stage.elapsed_seconds * 1e3:8.3f} ms"
                 + (f", {stage.detail}" if stage.detail else "")
                 + ")"
+            )
+        if self.store_stats:
+            stats = self.store_stats
+            lines.append(
+                "  store    : "
+                f"{stats.get('shards', 0)} shard(s), "
+                f"{stats.get('entering', 0)} entering, "
+                f"prefilter -{stats.get('prefilter_pruned', 0)}, "
+                f"bfs -{stats.get('bfs_pruned', 0)}, "
+                f"{stats.get('fresh_attaches', 0)} fresh attach(es), "
+                f"{stats.get('parent_fallbacks', 0)} parent fallback(s)"
             )
         for event in self.degradations:
             lines.append(f"  degraded : {event}")
@@ -1122,6 +1144,16 @@ class QueryPlanner:
             backend = model.best_backend(
                 features, method, options.n_samples
             )
+        shard_count = None
+        store_shards = getattr(self.database, "store_shards", None)
+        if callable(store_shards):
+            # per-shard cardinalities: the dispatch decision scatters
+            # over store shards, not over a within-chain row split
+            shard_count = sum(
+                1
+                for entry in store_shards(chain_id)
+                if entry.get("n_objects")
+            )
         return GroupPlan(
             chain_id=chain_id,
             method=method,
@@ -1132,6 +1164,7 @@ class QueryPlanner:
             predicted_seconds=model.predict_seconds(
                 costs.get(method, 0.0)
             ),
+            shard_count=shard_count,
         )
 
     def _cached(self, kind: str, chain, window) -> bool:
@@ -1205,6 +1238,7 @@ class QueryPlanner:
             shards = max(
                 len(groups),
                 total_objects // max(1, model.shard_min_objects),
+                sum(group.shard_count or 0 for group in groups),
             )
             return max(1, min(cap, shards))
 
@@ -1240,6 +1274,11 @@ class QueryPlanner:
                 group.method in ("ob", "ct")
                 and group.features is not None
                 and group.features.n_single >= 2 * model.shard_min_objects
+                for group in groups
+            ) or any(
+                # a sharded store scatters every method (qb/mc/multi
+                # included) shard-locally over its slabs
+                (group.shard_count or 0) > 1
                 for group in groups
             )
             if (

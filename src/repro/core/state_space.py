@@ -28,6 +28,7 @@ __all__ = [
     "LineStateSpace",
     "GridStateSpace",
     "GraphStateSpace",
+    "PointStateSpace",
 ]
 
 
@@ -318,3 +319,37 @@ class GraphStateSpace(StateSpace):
             if (px - cx) ** 2 + (py - cy) ** 2 <= radius**2:
                 result.append(state)
         return frozenset(result)
+
+
+class PointStateSpace(StateSpace):
+    """States at explicit coordinates in ``R^d`` (``d`` of 1 or 2).
+
+    The geometry a :class:`~repro.store.sharded.ShardedTrajectoryStore`
+    persists: whatever space built the store, its per-state positions
+    round-trip through ``positions.npy`` as a plain coordinate array,
+    so a re-opened store keeps the geometric pre-filter and the
+    displacement bounds without the original space object.
+    """
+
+    def __init__(self, positions) -> None:
+        import numpy as np
+
+        array = np.asarray(positions, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)  # a flat vector of 1-D positions
+        if array.ndim != 2 or array.shape[1] > 2:
+            raise StateSpaceError(
+                f"positions must be 1-D or 2-D points, got "
+                f"{array.shape[1]} columns"
+            )
+        super().__init__(array.shape[0])
+        self._positions = array
+
+    def location_of(self, state: int) -> Tuple[float, ...]:
+        self.check_state(state)
+        return tuple(float(x) for x in self._positions[state])
+
+    @property
+    def positions(self):
+        """The ``(n_states, d)`` coordinate array."""
+        return self._positions

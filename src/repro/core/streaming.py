@@ -918,6 +918,15 @@ class StandingQuery:
             raise
         self._failures = 0
         self._error = None
+        autosnapshot = getattr(
+            self.engine.database, "maybe_autosnapshot", None
+        )
+        if callable(autosnapshot):
+            # after the commit point: a sharded store folds its grown
+            # journal overlay into fresh slabs once it crosses the
+            # configured threshold, so long-running streams never let
+            # the replay-on-open cost grow without bound
+            autosnapshot()
         return QueryResult(
             # replace() keeps query-type-specific fields (e.g. the
             # fixed k of a PSTKTimesQuery) on the slid window

@@ -32,7 +32,49 @@ from repro.database.objects import UncertainObject
 from repro.database.rtree import Rect, RTree
 from repro.database.uncertain_db import TrajectoryDatabase
 
-__all__ = ["ReachabilityPruner", "GeometricPrefilter"]
+__all__ = [
+    "ReachabilityPruner",
+    "GeometricPrefilter",
+    "reachability_levels",
+]
+
+
+def reachability_levels(
+    chain,
+    region: FrozenSet[int],
+    depth_needed: int,
+    cache: Dict[Tuple[str, FrozenSet[int]], list],
+) -> np.ndarray:
+    """Database-free resumable reverse-BFS labelling of one chain.
+
+    Labels every state with the minimum number of transitions needed
+    to enter ``region``, extended at least to ``depth_needed`` levels.
+    ``cache`` is a mutable mapping keyed by ``(fingerprint, region)``
+    holding ``[levels, reached depth, frontier]`` -- callers that hold
+    a cache across queries (the pruner, shard workers) resume the
+    labelling instead of re-running it.  Unreachable states are
+    labelled ``np.iinfo(np.int64).max``.  Not thread-safe by itself;
+    callers serialise access to ``cache`` (the pruner holds a lock,
+    shard workers are single-threaded).
+    """
+    key = (chain.fingerprint(), region)
+    unreachable = np.iinfo(np.int64).max
+    state = cache.get(key)
+    if state is None:
+        levels = np.full(chain.n_states, unreachable, dtype=np.int64)
+        frontier = np.zeros(chain.n_states, dtype=bool)
+        frontier[sorted(region)] = True
+        levels[frontier] = 0
+        state = cache[key] = [levels, 0, frontier]
+    levels, depth, frontier = state
+    matrix = chain.matrix
+    while depth < depth_needed and frontier.any():
+        depth += 1
+        reached = matrix @ frontier.astype(np.float64)
+        frontier = (reached > 0.0) & (levels == unreachable)
+        levels[frontier] = depth
+    state[1], state[2] = depth, frontier
+    return levels
 
 
 class ReachabilityPruner:
@@ -79,31 +121,15 @@ class ReachabilityPruner:
         """
         chain = self.database.chain(chain_id)
         key = (chain.fingerprint(), region)
-        unreachable = np.iinfo(np.int64).max
         state = self._bfs_state.get(key)
         if state is not None and (
             state[1] >= depth_needed or not state[2].any()
         ):
             return state[0]  # already labelled far enough (lock-free)
         with self._lock:
-            state = self._bfs_state.get(key)
-            if state is None:
-                levels = np.full(
-                    chain.n_states, unreachable, dtype=np.int64
-                )
-                frontier = np.zeros(chain.n_states, dtype=bool)
-                frontier[sorted(region)] = True
-                levels[frontier] = 0
-                state = self._bfs_state[key] = [levels, 0, frontier]
-            levels, depth, frontier = state
-            matrix = chain.matrix
-            while depth < depth_needed and frontier.any():
-                depth += 1
-                reached = matrix @ frontier.astype(np.float64)
-                frontier = (reached > 0.0) & (levels == unreachable)
-                levels[frontier] = depth
-            state[1], state[2] = depth, frontier
-            return levels
+            return reachability_levels(
+                chain, region, depth_needed, self._bfs_state
+            )
 
     def min_levels(
         self, chain_id: str, region: Iterable[int]

@@ -76,6 +76,7 @@ except ImportError:  # pragma: no cover - exercised only without scipy
 __all__ = [
     "process_dispatch_available",
     "run_groups_in_processes",
+    "run_store_shards",
     "prewarm",
     "shutdown",
     "publish_csr",
@@ -323,6 +324,11 @@ class _Publisher:
         self._absorbing: "OrderedDict[tuple, Tuple[tuple, list]]" = (
             OrderedDict()
         )
+        # per-chain Monte-Carlo CDF tables: (cdf, targets) ArrayMeta
+        # pair, or None for chains too dense to tabulate
+        self._tables: "OrderedDict[str, Tuple[object, list]]" = (
+            OrderedDict()
+        )
         self._pins: Dict[tuple, int] = {}
         self._lock = threading.Lock()
 
@@ -350,7 +356,9 @@ class _Publisher:
     def _evict_overflow(self) -> None:
         """Unlink oldest unpinned entries beyond the bound (lock held)."""
         for kind, cache in (
-            ("chain", self._chains), ("absorbing", self._absorbing)
+            ("chain", self._chains),
+            ("absorbing", self._absorbing),
+            ("tables", self._tables),
         ):
             while len(cache) > self.maxsize:
                 victim = next(
@@ -409,12 +417,47 @@ class _Publisher:
         segments: List[shared_memory.SharedMemory] = []
         return publish_csr(csr, segments), segments
 
+    def mc_tables(
+        self, chain, lease: Optional[list] = None
+    ) -> Optional[Tuple[ArrayMeta, ArrayMeta]]:
+        """Publish the chain's Monte-Carlo CDF tables once.
+
+        Returns the ``(cdf, targets)`` segment metadata, or None for
+        chains too dense to tabulate (workers then fall back to their
+        per-row CDFs, exactly like the serial sampler).
+        """
+        from repro.core.montecarlo import MonteCarloSampler
+
+        fingerprint = chain.fingerprint()
+        with self._lock:
+            entry = self._tables.get(fingerprint)
+            if entry is None:
+                tables = MonteCarloSampler.shared_cdf_tables(chain)
+                segments: list = []
+                if tables is None:
+                    entry = (None, segments)
+                else:
+                    cdf, targets = tables
+                    entry = (
+                        (
+                            _publish_array(cdf, segments),
+                            _publish_array(targets, segments),
+                        ),
+                        segments,
+                    )
+                self._tables[fingerprint] = entry
+            self._tables.move_to_end(fingerprint)
+            self._pin(("tables", fingerprint), lease)
+        return entry[0]
+
     def live_bytes(self) -> int:
         """Total ``/dev/shm`` bytes held by cached publications."""
         with self._lock:
             return sum(
                 segment.size
-                for cache in (self._chains, self._absorbing)
+                for cache in (
+                    self._chains, self._absorbing, self._tables
+                )
                 for _handles, segments in cache.values()
                 for segment in segments
             )
@@ -432,14 +475,18 @@ class _Publisher:
         an exact lower tier.
         """
         with self._lock:
-            for cache in (self._chains, self._absorbing):
+            for cache in (
+                self._chains, self._absorbing, self._tables
+            ):
                 for _handles, segments in cache.values():
                     _unlink_segments(segments)
                 cache.clear()
 
     def close(self) -> None:
         with self._lock:
-            for cache in (self._chains, self._absorbing):
+            for cache in (
+                self._chains, self._absorbing, self._tables
+            ):
                 for _handles, segments in cache.values():
                     _unlink_segments(segments)
                 cache.clear()
@@ -740,6 +787,17 @@ class _ShardTask:
     m_plus: Optional[SharedCSR] = None
     m_minus_t: Optional[SharedCSR] = None
     m_plus_t: Optional[SharedCSR] = None
+    # multi-observation ("multi") and Monte-Carlo ("mc") shards: the
+    # `initials` stack holds one row per *observation* instead of per
+    # object; `obs_times`/`obj_indptr` map rows back to objects, MC
+    # shards additionally carry per-object seeds and (when the chain
+    # tabulates) the published CDF table segments
+    obs_times: Optional[ArrayMeta] = None
+    obj_indptr: Optional[ArrayMeta] = None
+    n_samples: int = 100
+    seeds: Optional[Tuple[Optional[int], ...]] = None
+    mc_cdf: Optional[ArrayMeta] = None
+    mc_targets: Optional[ArrayMeta] = None
     attempt: int = 0
     verify: bool = False
     faults: Optional[object] = None
@@ -859,6 +917,105 @@ def _read_shard_rows(
                 pass  # views still alive (exception mid-attach)
 
 
+def _read_plain_array(meta: ArrayMeta) -> np.ndarray:
+    """Copy a small per-query array out of shared memory; release.
+
+    Like :func:`_read_shard_rows` these segments are published fresh
+    per query and unlinked by the parent afterwards, so the worker
+    must not cache them in ``_SEGMENTS``.
+    """
+    name, shape, dtype = meta
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        raise SegmentLostError(
+            f"per-query segment {name!r} vanished before attach"
+        ) from exc
+    try:
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=segment.buf
+        )
+        copied = np.array(view)
+        del view  # drop the view before unmapping
+        return copied
+    finally:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - error paths only
+            pass
+
+
+def _evaluate_observation_rows(
+    task: _ShardTask, chain, cache, context, window
+) -> np.ndarray:
+    """Evaluate a multi-observation or Monte-Carlo object shard.
+
+    The stacked segment holds one row per *observation*;
+    ``obj_indptr`` maps the shard's object rows ``[row_lo, row_hi)``
+    to their observation rows.  Multi shards run the exact Section VI
+    fusion sweep (doubled matrices built once per worker via the
+    fingerprint-keyed cache); MC shards adopt the published CDF
+    tables -- zero-copy views, no per-worker re-tabulation -- and run
+    the paper's sampling baseline with the per-object seeds the
+    parent priced, so estimates match the serial path bit-for-bit.
+    """
+    from repro.core.batch import batch_exists_multi, batch_mc_exists
+    from repro.core.distribution import StateDistribution
+    from repro.core.observation import Observation, ObservationSet
+
+    obj_indptr = _read_plain_array(task.obj_indptr)
+    obs_times = _read_plain_array(task.obs_times)
+    obs_lo = int(obj_indptr[task.row_lo])
+    obs_hi = int(obj_indptr[task.row_hi])
+    rows = _read_shard_rows(
+        task.initials, obs_lo, obs_hi, verify=task.verify
+    )
+    observation_sets = []
+    for row in range(task.row_lo, task.row_hi):
+        observations = tuple(
+            Observation(
+                int(obs_times[index]),
+                StateDistribution(rows[index - obs_lo]),
+            )
+            for index in range(
+                int(obj_indptr[row]), int(obj_indptr[row + 1])
+            )
+        )
+        observation_sets.append(ObservationSet(observations))
+    if task.method == "multi":
+        values = batch_exists_multi(
+            chain,
+            observation_sets,
+            window,
+            backend=task.backend,
+            plan_cache=cache,
+            context=context,
+        )
+    else:
+        if task.mc_cdf is not None:
+            from repro.core.montecarlo import MonteCarloSampler
+
+            MonteCarloSampler.adopt_cdf_tables(
+                task.fingerprint,
+                _attach_array(task.mc_cdf),
+                _attach_array(task.mc_targets),
+            )
+        seeds = (
+            list(task.seeds[task.row_lo:task.row_hi])
+            if task.seeds is not None
+            else None
+        )
+        values = batch_mc_exists(
+            chain,
+            observation_sets,
+            window,
+            n_samples=task.n_samples,
+            seeds=seeds,
+            context=context,
+        )
+    return np.asarray(values, dtype=float)
+
+
 def _evaluate_shard(task: _ShardTask):
     """Run one shard through the shared operators; return its slice."""
     from repro.core.query import SpatioTemporalWindow
@@ -886,6 +1043,17 @@ def _evaluate_shard(task: _ShardTask):
     context = ExecutionContext(
         cache, task.backend, faults=task.faults
     )
+    if task.method in ("multi", "mc"):
+        values = _evaluate_observation_rows(
+            task, chain, cache, context, window
+        )
+        return (
+            task.row_lo,
+            task.row_hi,
+            values,
+            context.serializable_timings(),
+            _time.perf_counter() - shard_started,
+        )
     rows = _read_shard_rows(
         task.initials, task.row_lo, task.row_hi, verify=task.verify
     )
@@ -962,6 +1130,294 @@ def _evaluate_shard(task: _ShardTask):
         values,
         context.serializable_timings(),
         _time.perf_counter() - shard_started,
+    )
+
+
+# ----------------------------------------------------------------------
+# store-shard tasks: persistent workers over memory-mapped slabs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _StoreShardTask:
+    """One shard of a :class:`~repro.store.sharded.ShardedTrajectoryStore`.
+
+    Nothing heavy crosses the process boundary -- not even segment
+    names: the task carries only the store path, slab generation and
+    shard id, and the worker memory-maps the shard's columnar slabs
+    directly (cached per process, shared with every other worker and
+    the parent through the OS page cache).  The full prefilter ->
+    BFS-prune -> kernel pipeline runs shard-local.
+    """
+
+    store_dir: str
+    generation: int
+    shard_id: str
+    chain_id: str
+    kind: str  # "exists" | "ktimes"
+    method: str  # qb | ob | mc (exists), ct | mc (ktimes)
+    backend: Optional[str]
+    region: Tuple[int, ...]
+    times: Tuple[int, ...]
+    exclude: Tuple[str, ...] = ()
+    use_prefilter: bool = True
+    use_bfs: bool = True
+    n_samples: int = 100
+    seed_base: Optional[int] = None
+    attempt: int = 0
+    faults: Optional[object] = None
+
+
+# worker-local resumable reverse-BFS labellings, keyed by
+# (chain fingerprint, region) -- the shard-local analogue of the
+# parent pruner's cache
+_STORE_BFS: Dict[tuple, list] = {}
+
+
+def _evaluate_store_shard(task: _StoreShardTask):
+    """Prefilter, BFS-prune and evaluate one store shard in place.
+
+    Returns ``(shard_id, values, timings, elapsed, fresh, stats)``
+    where ``values`` maps object ids to their exact answers (filtered
+    objects get the query's exact zero element), ``fresh`` reports
+    whether this call had to map the slabs (False on every warm call
+    -- the zero-copy assertion the dispatch tests check), and
+    ``stats`` carries the shard-local filter-stage counts.
+    """
+    from repro.core.batch import (
+        batch_exists_multi,
+        batch_ktimes_distribution,
+        batch_mc_exists,
+        batch_ob_exists,
+        batch_qb_exists,
+    )
+    from repro.core.query import SpatioTemporalWindow
+    from repro.database.pruning import reachability_levels
+    from repro.exec.operators import ExecutionContext
+    from repro.store.sharded import (
+        attach_shard,
+        open_store_chain,
+        store_positions,
+    )
+
+    shard_started = _time.perf_counter()
+    if task.faults is not None:
+        task.faults.fire(
+            "worker:store-shard",
+            shard_id=task.shard_id,
+            attempt=task.attempt,
+            pid=os.getpid(),
+        )
+    view, fresh = attach_shard(
+        task.store_dir, task.generation, task.shard_id
+    )
+    chain = open_store_chain(task.store_dir, task.chain_id)
+    window = SpatioTemporalWindow(
+        frozenset(task.region), frozenset(task.times)
+    )
+    cache = _worker_cache()
+    context = ExecutionContext(
+        cache, task.backend, faults=task.faults
+    )
+
+    exclude = frozenset(task.exclude)
+    candidates = [
+        index
+        for index in range(view.n_objects())
+        if view.object_ids[index] not in exclude
+    ]
+    stats = {
+        "entering": len(candidates),
+        "prefilter_pruned": 0,
+        "bfs_pruned": 0,
+    }
+    first_times = view.obs_times[view.obj_indptr[:-1]]
+
+    if task.kind == "ktimes":
+        def zero():
+            point = np.zeros(window.duration + 1, dtype=float)
+            point[0] = 1.0
+            return point
+    else:
+        def zero():
+            return 0.0
+
+    values: Dict[str, object] = {}
+
+    # stage 1: geometric prefilter against the per-object slab MBRs
+    # (same safety argument as the parent R-tree: an object whose
+    # first-observation MBR, expanded by bound x horizon, misses the
+    # region MBR provably never intersects the window)
+    if (
+        task.use_prefilter
+        and candidates
+        and view.has_mbr
+        and view.displacement_bound is not None
+    ):
+        positions = store_positions(task.store_dir)
+        if positions is not None:
+            region_states = np.fromiter(
+                task.region, dtype=np.int64
+            )
+            rx = np.asarray(positions[region_states, 0], dtype=float)
+            ry = (
+                np.asarray(positions[region_states, 1], dtype=float)
+                if positions.shape[1] > 1
+                else np.zeros_like(rx)
+            )
+            rect = (
+                float(rx.min()), float(ry.min()),
+                float(rx.max()), float(ry.max()),
+            )
+            mbrs = view.mbrs()
+            index_array = np.asarray(candidates, dtype=np.int64)
+            horizons = np.maximum(
+                window.t_end - first_times[index_array], 0
+            ).astype(float)
+            margin = horizons * float(view.displacement_bound)
+            keep = ~(
+                (mbrs[index_array, 2] + margin < rect[0])
+                | (mbrs[index_array, 0] - margin > rect[2])
+                | (mbrs[index_array, 3] + margin < rect[1])
+                | (mbrs[index_array, 1] - margin > rect[3])
+            )
+            for index in index_array[~keep]:
+                values[view.object_ids[int(index)]] = zero()
+            stats["prefilter_pruned"] = int((~keep).sum())
+            candidates = [int(i) for i in index_array[keep]]
+
+    # stage 2: exact reverse-BFS reachability, resumable per
+    # (chain, region) across queries exactly like the parent pruner
+    if task.use_bfs and candidates:
+        region = frozenset(task.region)
+        depth_needed = max(
+            0,
+            int(window.t_end)
+            - int(first_times[np.asarray(candidates)].min()),
+        )
+        levels = reachability_levels(
+            chain, region, depth_needed, _STORE_BFS
+        )
+        states_slab = view.states()
+        kept: List[int] = []
+        for index in candidates:
+            row = int(view.obj_indptr[index])  # first observation
+            horizon = int(window.t_end) - int(view.obs_times[row])
+            a = int(view.obs_indptr[row])
+            b = int(view.obs_indptr[row + 1])
+            support = np.asarray(states_slab[a:b], dtype=np.int64)
+            if (
+                horizon >= 0
+                and support.size
+                and bool((levels[support] <= horizon).any())
+            ):
+                kept.append(index)
+            else:
+                values[view.object_ids[index]] = zero()
+        stats["bfs_pruned"] = len(candidates) - len(kept)
+        candidates = kept
+
+    # stage 3: the exact same kernels the serial pipeline runs
+    if candidates:
+        sets = {
+            index: view.observations_of(index)
+            for index in candidates
+        }
+
+        def seed_for(index: int) -> Optional[int]:
+            if task.seed_base is None:
+                return None
+            return int(task.seed_base) + int(view.obj_dbindex[index])
+
+        if task.kind == "ktimes":
+            if task.method == "mc":
+                from repro.core.montecarlo import MonteCarloSampler
+
+                sampler = MonteCarloSampler(chain)
+                for index in candidates:
+                    first = sets[index].first
+                    sampler.reseed(seed_for(index))
+                    values[view.object_ids[index]] = (
+                        sampler.ktimes_distribution(
+                            first.distribution,
+                            window,
+                            task.n_samples,
+                            start_time=first.time,
+                        )
+                    )
+            else:
+                distributions = batch_ktimes_distribution(
+                    chain,
+                    [sets[i].first.distribution for i in candidates],
+                    window,
+                    start_times=[
+                        sets[i].first.time for i in candidates
+                    ],
+                    backend=task.backend,
+                    plan_cache=cache,
+                    context=context,
+                )
+                for index, distribution in zip(
+                    candidates, distributions
+                ):
+                    values[view.object_ids[index]] = np.array(
+                        distribution, dtype=float
+                    )
+        elif task.method == "mc":
+            probabilities = batch_mc_exists(
+                chain,
+                [sets[i] for i in candidates],
+                window,
+                n_samples=task.n_samples,
+                seeds=[seed_for(i) for i in candidates],
+                context=context,
+            )
+            for index, probability in zip(candidates, probabilities):
+                values[view.object_ids[index]] = float(probability)
+        else:
+            singles = [i for i in candidates if len(sets[i]) == 1]
+            multis = [i for i in candidates if len(sets[i]) > 1]
+            if singles:
+                evaluate = (
+                    batch_qb_exists
+                    if task.method == "qb"
+                    else batch_ob_exists
+                )
+                probabilities = evaluate(
+                    chain,
+                    [sets[i].first.distribution for i in singles],
+                    window,
+                    start_times=[sets[i].first.time for i in singles],
+                    backend=task.backend,
+                    plan_cache=cache,
+                    context=context,
+                )
+                for index, probability in zip(
+                    singles, probabilities
+                ):
+                    values[view.object_ids[index]] = float(
+                        probability
+                    )
+            if multis:  # Section VI fusion path, shard-local
+                probabilities = batch_exists_multi(
+                    chain,
+                    [sets[i] for i in multis],
+                    window,
+                    backend=task.backend,
+                    plan_cache=cache,
+                    context=context,
+                )
+                for index, probability in zip(
+                    multis, probabilities
+                ):
+                    values[view.object_ids[index]] = float(
+                        probability
+                    )
+    return (
+        task.shard_id,
+        values,
+        context.serializable_timings(),
+        _time.perf_counter() - shard_started,
+        bool(fresh),
+        stats,
     )
 
 
@@ -1141,18 +1597,61 @@ def run_groups_in_processes(
                 _fire_published(minus_h, "absorbing")
             else:  # ct: the chain CSR is the whole matrix payload
                 minus_h = plus_h = minus_t_h = plus_t_h = None
-            stacked = _sp.vstack(
-                [
-                    _sp.csr_matrix(
-                        np.asarray(
-                            obj.initial.distribution.vector,
-                            dtype=float,
-                        ).reshape(1, -1)
-                    )
-                    for obj in objects
-                ],
-                format="csr",
-            )
+            obs_times_meta = obj_indptr_meta = None
+            mc_cdf_meta = mc_targets_meta = None
+            seeds: Optional[Tuple[Optional[int], ...]] = None
+            n_samples = 100
+            if method in ("multi", "mc"):
+                # one stacked row per *observation*, plus the small
+                # times/indptr maps that slice them back per object
+                vectors = []
+                times_flat: List[int] = []
+                indptr = [0]
+                for obj in objects:
+                    for observation in obj.observations:
+                        vectors.append(
+                            _sp.csr_matrix(
+                                np.asarray(
+                                    observation.distribution.vector,
+                                    dtype=float,
+                                ).reshape(1, -1)
+                            )
+                        )
+                        times_flat.append(int(observation.time))
+                    indptr.append(len(times_flat))
+                stacked = _sp.vstack(vectors, format="csr")
+                obs_times_meta = _publish_array(
+                    np.asarray(times_flat, dtype=np.int64),
+                    stack_segments,
+                )
+                obj_indptr_meta = _publish_array(
+                    np.asarray(indptr, dtype=np.int64),
+                    stack_segments,
+                )
+                extras = (
+                    task_tuple[5] if len(task_tuple) > 5 else {}
+                ) or {}
+                n_samples = int(extras.get("n_samples", 100))
+                raw_seeds = extras.get("seeds")
+                if raw_seeds is not None:
+                    seeds = tuple(raw_seeds)
+                if method == "mc":
+                    tables = publisher.mc_tables(chain, lease)
+                    if tables is not None:
+                        mc_cdf_meta, mc_targets_meta = tables
+            else:
+                stacked = _sp.vstack(
+                    [
+                        _sp.csr_matrix(
+                            np.asarray(
+                                obj.initial.distribution.vector,
+                                dtype=float,
+                            ).reshape(1, -1)
+                        )
+                        for obj in objects
+                    ],
+                    format="csr",
+                )
             stack_handle, segments = publisher.stack(stacked)
             stack_segments.extend(segments)
             _fire_published(stack_handle, "stack")
@@ -1160,7 +1659,7 @@ def run_groups_in_processes(
             ids = [obj.object_id for obj in objects]
 
             n_rows = len(objects)
-            if method in ("ob", "ct"):
+            if method in ("ob", "ct", "multi", "mc"):
                 n_shards = max(
                     1,
                     min(
@@ -1192,6 +1691,12 @@ def run_groups_in_processes(
                         times=tuple(sorted(window.times)),
                         method=method,
                         backend=task_backend,
+                        obs_times=obs_times_meta,
+                        obj_indptr=obj_indptr_meta,
+                        n_samples=n_samples,
+                        seeds=seeds,
+                        mc_cdf=mc_cdf_meta,
+                        mc_targets=mc_targets_meta,
                         verify=policy.verify_segments,
                         faults=faults,
                     )
@@ -1301,4 +1806,281 @@ def run_groups_in_processes(
         _wait_futures(leftovers, timeout=5.0)
         _unlink_segments(stack_segments)
         publisher.release(lease)
+        _release_executor(executor, owned)
+
+
+def run_store_shards(
+    store,
+    groups: Sequence[Tuple[str, str, Optional[str]]],
+    window,
+    kind: str,
+    *,
+    max_workers: int,
+    use_prefilter: bool = True,
+    use_bfs: bool = True,
+    n_samples: int = 100,
+    seed_base: Optional[int] = None,
+    context=None,
+    policy=None,
+    predicted_seconds: Optional[float] = None,
+    faults=None,
+) -> Tuple[Dict[str, object], Dict[str, float], Dict[str, int]]:
+    """Scatter a query over the shards of a sharded trajectory store.
+
+    Unlike :func:`run_groups_in_processes`, nothing is published:
+    workers memory-map the store's columnar slabs directly (shared
+    through the OS page cache, attached once per process and reused
+    across queries) and run prefilter -> BFS-prune -> kernel entirely
+    shard-local.  The same supervisor covers worker loss -- crashes
+    and deadline overruns rebuild the pool and resubmit with backoff
+    -- but exhausted retries *degrade shard -> parent* instead of
+    raising: the parent evaluates the shard in-process from the same
+    slabs, so the query always completes exactly.
+
+    Args:
+        store: a :class:`~repro.store.sharded.ShardedTrajectoryStore`
+            (anything with ``path`` / ``generation`` /
+            ``store_shards`` / ``shard_exclusions``).
+        groups: ``(chain_id, method, backend)`` per chain group.
+        window: the evaluated window.
+        kind: ``"exists"`` or ``"ktimes"``.
+        max_workers: pool size.
+        use_prefilter / use_bfs: mirror the plan's filter toggles.
+        n_samples / seed_base: Monte Carlo parameters; per-object
+            seeds derive from ``seed_base`` plus the object's stable
+            store index, matching the parent's seed book-keeping.
+        context: parent execution context receiving merged timings
+            and recovery events.
+        policy / predicted_seconds / faults: as in
+            :func:`run_groups_in_processes`.
+
+    Returns:
+        ``(values, chain_seconds, stats)``: per-object answers for
+        every snapshot object of the queried chains (excluded /
+        overlaid objects are skipped per the store's exclusion map),
+        summed worker wall seconds per chain id, and aggregate
+        filter/recovery statistics (``shards``, ``fresh_attaches``,
+        ``entering``, ``prefilter_pruned``, ``bfs_pruned``,
+        ``parent_fallbacks``).
+    """
+    if policy is None:
+        from repro.core.planner import SupervisorPolicy
+
+        policy = SupervisorPolicy()
+    deadline = policy.deadline(predicted_seconds or 0.0)
+
+    exclusions = store.shard_exclusions()
+    region = tuple(sorted(window.region))
+    times = tuple(sorted(window.times))
+    shards: List[_StoreShardTask] = []
+    shard_chain: List[str] = []
+    for chain_id, method, task_backend in groups:
+        for entry in store.store_shards(chain_id):
+            if not entry.get("n_objects"):
+                continue
+            shard_id = str(entry["shard_id"])
+            excluded = tuple(exclusions.get(shard_id, ()))
+            if len(excluded) >= int(entry["n_objects"]):
+                continue  # every object superseded by the overlay
+            shards.append(
+                _StoreShardTask(
+                    store_dir=str(store.path),
+                    generation=int(store.generation),
+                    shard_id=shard_id,
+                    chain_id=str(chain_id),
+                    kind=kind,
+                    method=method,
+                    backend=task_backend,
+                    region=region,
+                    times=times,
+                    exclude=excluded,
+                    use_prefilter=use_prefilter,
+                    use_bfs=use_bfs,
+                    n_samples=n_samples,
+                    seed_base=seed_base,
+                    faults=faults,
+                )
+            )
+            shard_chain.append(str(chain_id))
+
+    values: Dict[str, object] = {}
+    chain_seconds: Dict[str, float] = {
+        chain_id: 0.0 for chain_id, _method, _backend in groups
+    }
+    stats = {
+        "shards": len(shards),
+        "fresh_attaches": 0,
+        "entering": 0,
+        "prefilter_pruned": 0,
+        "bfs_pruned": 0,
+        "parent_fallbacks": 0,
+    }
+    if not shards:
+        return values, chain_seconds, stats
+
+    executor, owned = _acquire_executor(max_workers)
+    attempts = [0] * len(shards)
+    results: Dict[int, tuple] = {}
+    inflight: Dict[object, int] = {}  # future -> shard index
+    submitted_at: Dict[object, float] = {}
+
+    def _record(message: str) -> None:
+        if context is not None:
+            context.record_event(message)
+
+    def _swap_pool(reason: str) -> None:
+        """Replace a pool that died under us without resubmitting.
+
+        In-flight futures on the dead pool surface
+        :class:`BrokenProcessPool` at ``result()`` and take the normal
+        crash-recovery path; only the executor handle is swapped here.
+        """
+        nonlocal executor, owned
+        _invalidate_executor(executor)
+        _release_executor(executor, owned)
+        executor, owned = _acquire_executor(max_workers)
+        _record(f"worker pool replaced mid-submit ({reason})")
+
+    def _submit(index: int) -> None:
+        task = shards[index]
+        if task.attempt != attempts[index]:
+            task = _dc_replace(task, attempt=attempts[index])
+        while True:
+            try:
+                future = executor.submit(_evaluate_store_shard, task)
+                break
+            except BrokenProcessPool:
+                # a worker died while we were still scattering: the
+                # pool is unusable for *new* submissions too
+                _swap_pool("worker crash during scatter")
+        inflight[future] = index
+        submitted_at[future] = _time.monotonic()
+
+    def _backoff(attempt: int) -> None:
+        if policy.backoff_seconds > 0 and attempt > 0:
+            _time.sleep(
+                policy.backoff_seconds * (2 ** (attempt - 1))
+            )
+
+    def _fallback(index: int, reason: str) -> None:
+        """Degrade an exhausted shard to in-parent evaluation.
+
+        The parent maps the same slabs the worker would have, so the
+        answers are identical -- availability degrades (one shard runs
+        serially) but exactness never does.
+        """
+        task = _dc_replace(
+            shards[index], attempt=attempts[index], faults=None
+        )
+        results[index] = _evaluate_store_shard(task)
+        stats["parent_fallbacks"] += 1
+        _record(
+            f"store shard {task.shard_id} degraded to parent "
+            f"after {reason}"
+        )
+
+    def _rebuild_pool(culprits: List[int], reason: str) -> None:
+        nonlocal executor, owned
+        pending = sorted(set(inflight.values()) | set(culprits))
+        _invalidate_executor(executor)
+        for index in culprits:
+            attempts[index] += 1
+        for future in list(inflight):
+            future.cancel()
+        inflight.clear()
+        submitted_at.clear()
+        _release_executor(executor, owned)
+        executor, owned = _acquire_executor(max_workers)
+        _record(
+            f"worker pool rebuilt ({reason}); resubmitted "
+            f"{len(pending)} store shard(s)"
+        )
+        _backoff(max(attempts[index] for index in culprits))
+        for index in culprits:
+            if attempts[index] > policy.max_retries:
+                _fallback(index, reason)
+        for index in pending:
+            if index in results:  # answered by the parent fallback
+                continue
+            _submit(index)
+
+    try:
+        for index in range(len(shards)):
+            _submit(index)
+
+        while inflight:
+            now = _time.monotonic()
+            expiry = min(
+                submitted_at[future] for future in inflight
+            ) + deadline
+            done, _running = _wait_futures(
+                list(inflight),
+                timeout=max(0.0, expiry - now),
+                return_when=FIRST_COMPLETED,
+            )
+            crashed: List[int] = []
+            retried: List[int] = []
+            for future in done:
+                index = inflight.pop(future)
+                submitted_at.pop(future, None)
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    crashed.append(index)
+                except ExecutionError as error:
+                    attempts[index] += 1
+                    if attempts[index] > policy.max_retries:
+                        _fallback(index, str(error))
+                        continue
+                    _record(
+                        f"store shard {shards[index].shard_id} "
+                        f"retried after worker fault "
+                        f"(attempt {attempts[index]}): {error}"
+                    )
+                    retried.append(index)
+            if crashed:
+                _rebuild_pool(crashed, "worker crash")
+            for index in retried:
+                _backoff(attempts[index])
+                _submit(index)
+            if crashed:
+                continue
+            now = _time.monotonic()
+            expired = sorted(
+                {
+                    inflight[future]
+                    for future in inflight
+                    if now - submitted_at[future] >= deadline
+                }
+            )
+            if expired:
+                _rebuild_pool(
+                    expired,
+                    f"deadline of {deadline:.3g}s exceeded",
+                )
+
+        for index in sorted(results):
+            (
+                _shard_id,
+                shard_values,
+                timings,
+                elapsed,
+                fresh,
+                shard_stats,
+            ) = results[index]
+            values.update(shard_values)
+            chain_seconds[shard_chain[index]] += elapsed
+            stats["fresh_attaches"] += 1 if fresh else 0
+            for key in (
+                "entering", "prefilter_pruned", "bfs_pruned"
+            ):
+                stats[key] += int(shard_stats.get(key, 0))
+            if context is not None:
+                context.merge(timings)
+        return values, chain_seconds, stats
+    finally:
+        leftovers = list(inflight)
+        for future in leftovers:
+            future.cancel()
+        _wait_futures(leftovers, timeout=5.0)
         _release_executor(executor, owned)

@@ -18,6 +18,11 @@ Sites currently wired through the engine:
 ``worker:shard``
     entry of :func:`repro.exec.dispatch._evaluate_shard` in a pool
     worker; info carries ``row_lo``, ``fingerprint``, ``attempt``.
+``worker:store-shard``
+    entry of :func:`repro.exec.dispatch._evaluate_store_shard` when a
+    query scatters over a sharded trajectory store; info carries
+    ``shard_id``, ``attempt``, ``pid``.  Exhausted retries degrade the
+    shard to in-parent evaluation instead of raising.
 ``operator:<name>``
     every :class:`~repro.exec.operators.Operator` call (e.g.
     ``operator:forward_sweep``); fires on the calling side, which is

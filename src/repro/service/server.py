@@ -265,7 +265,15 @@ class QueryService:
                 f"predicted evaluation time {predicted:.3g}s",
                 reason="deadline",
             )
-        key = fusion_key(query, effective, self.engine.database.version)
+        # a sharded store's token also covers its snapshot generation
+        # and journal position, so reopening or re-snapshotting the
+        # store never fuses a request with a stale evaluation
+        database = self.engine.database
+        key = fusion_key(
+            query,
+            effective,
+            getattr(database, "fusion_token", database.version),
+        )
         budget = self.backlog_budget_seconds
         if (
             budget is not None

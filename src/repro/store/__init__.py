@@ -1,0 +1,36 @@
+"""Out-of-core sharded trajectory storage.
+
+The storage tier under the engine: :class:`ShardedTrajectoryStore`
+is a drop-in :class:`~repro.database.uncertain_db.TrajectoryDatabase`
+whose observations live in memory-mapped columnar slabs partitioned by
+chain × spatial tile, with an on-disk snapshot/journal format that
+survives restarts and persistent shard workers that attach the slabs
+zero-copy (see :mod:`repro.exec.dispatch`).
+"""
+
+from repro.store.journal import StoreJournal
+from repro.store.slabs import RAM_CAP_ENV, SlabPool, global_pool, ram_cap_bytes
+from repro.store.sharded import (
+    ShardedTrajectoryStore,
+    ShardView,
+    SlabDistribution,
+    attach_shard,
+    open_store_chain,
+    store_health,
+    sweep_stale_snapshots,
+)
+
+__all__ = [
+    "ShardedTrajectoryStore",
+    "ShardView",
+    "SlabDistribution",
+    "StoreJournal",
+    "SlabPool",
+    "RAM_CAP_ENV",
+    "global_pool",
+    "ram_cap_bytes",
+    "attach_shard",
+    "open_store_chain",
+    "store_health",
+    "sweep_stale_snapshots",
+]

@@ -261,6 +261,33 @@ class TestDispatchParity:
                     serial.values[object_id], abs=1e-12
                 )
 
+    def test_seeded_mc_exists_rides_pool_bit_exact(self):
+        """Seeded MC singles shard into the pool with identical
+        per-object seed streams: parity is bit-exact, not 1e-12."""
+        database = build_database(seed=47, n_objects=24)
+        engine = QueryEngine(database)
+        query = PSTExistsQuery(WINDOW)
+        serial = engine.evaluate(
+            query,
+            method="mc",
+            options=PlanOptions(
+                dispatch="serial", n_samples=64, seed=123
+            ),
+        )
+        process = engine.evaluate(
+            query,
+            method="mc",
+            options=PlanOptions(
+                dispatch="process", max_workers=2,
+                n_samples=64, seed=123,
+            ),
+        )
+        for object_id in database.object_ids:
+            assert (
+                process.values[object_id]
+                == serial.values[object_id]
+            )
+
     def test_forall_complement_rides_process_dispatch(self):
         database = build_database(seed=31, n_objects=30)
         engine = QueryEngine(database)
